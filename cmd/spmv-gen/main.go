@@ -1,0 +1,90 @@
+// Command spmv-gen generates an artificial sparse matrix from the paper's
+// feature parameters and writes it as MatrixMarket to stdout or a file.
+//
+// Usage:
+//
+//	spmv-gen -rows 100000 -avg 20 -skew 100 -sim 0.5 -neigh 1.0 -bw 0.3 > m.mtx
+//	spmv-gen -footprint 64 -avg 20 -o m.mtx     # size from a target MiB
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+func main() {
+	var (
+		rows      = flag.Int("rows", 0, "number of rows (0: derive from -footprint)")
+		cols      = flag.Int("cols", 0, "number of columns (0: square)")
+		footprint = flag.Float64("footprint", 0, "target CSR footprint in MiB (used when -rows is 0)")
+		avg       = flag.Float64("avg", 20, "average nonzeros per row (f2)")
+		std       = flag.Float64("std", -1, "row-size standard deviation (-1: 30% of avg)")
+		skew      = flag.Float64("skew", 0, "skew coefficient (f3)")
+		sim       = flag.Float64("sim", 0.5, "cross-row similarity (f4.a)")
+		neigh     = flag.Float64("neigh", 1.0, "average number of neighbors (f4.b)")
+		bw        = flag.Float64("bw", 0.3, "scaled row bandwidth in (0,1]")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		out       = flag.String("o", "", "output file (default stdout)")
+		quiet     = flag.Bool("q", false, "suppress the feature summary on stderr")
+	)
+	flag.Parse()
+
+	r := *rows
+	c := *cols
+	if r == 0 {
+		if *footprint <= 0 {
+			fatalf("need -rows or -footprint")
+		}
+		r = gen.RowsForFootprint(*footprint, *avg)
+	}
+	if c == 0 {
+		c = r
+	}
+	s := *std
+	if s < 0 {
+		s = *avg * 0.3
+	}
+	p := gen.Params{
+		Rows: r, Cols: c,
+		AvgNNZPerRow: *avg, StdNNZPerRow: s,
+		SkewCoeff: *skew, BWScaled: *bw,
+		CrossRowSim: *sim, AvgNumNeigh: *neigh,
+		Seed: *seed,
+	}
+	m, err := gen.Generate(p)
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("create: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw2 := bufio.NewWriterSize(w, 1<<20)
+	if err := matrix.WriteMatrixMarket(bw2, m); err != nil {
+		fatalf("write: %v", err)
+	}
+	if err := bw2.Flush(); err != nil {
+		fatalf("flush: %v", err)
+	}
+	if !*quiet {
+		fv := core.Extract(m)
+		fmt.Fprintf(os.Stderr, "generated %s\nmeasured features: %s\n", m, fv)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spmv-gen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command spmv-info reads a MatrixMarket file and reports the paper's
+// feature vector plus per-format structural costs and per-device model
+// predictions for the matrix.
+//
+// Usage:
+//
+//	spmv-info matrix.mtx
+//	spmv-info -predict matrix.mtx     # add device-model predictions
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/formats"
+	"repro/internal/matrix"
+)
+
+func main() {
+	predict := flag.Bool("predict", false, "print device-model predictions")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatalf("usage: spmv-info [-predict] matrix.mtx")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	m, err := matrix.ReadMatrixMarket(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		fatalf("parse: %v", err)
+	}
+
+	fv := core.Extract(m)
+	fmt.Printf("matrix: %s\n", m)
+	fmt.Printf("f1 mem_footprint   %10.2f MiB\n", fv.MemFootprintMB)
+	fmt.Printf("f2 avg_nz_row      %10.2f\n", fv.AvgNNZPerRow)
+	fmt.Printf("f3 skew_coeff      %10.2f\n", fv.SkewCoeff)
+	fmt.Printf("f4.a cross_row_sim %10.3f\n", fv.CrossRowSim)
+	fmt.Printf("f4.b avg_num_neigh %10.3f\n", fv.AvgNumNeigh)
+	fmt.Printf("bw_scaled          %10.4f\n", fv.BWScaled)
+	fmt.Printf("regularity label   %10s\n", fv.RegularityLabel())
+	fmt.Printf("CSR op intensity   %10.4f flop/byte\n\n", fv.OperationalIntensity())
+
+	fmt.Println("format structural costs (built):")
+	for _, b := range formats.Registry() {
+		ff, err := b.Build(m)
+		if err != nil {
+			fmt.Printf("  %-10s build refused: %v\n", b.Name, err)
+			continue
+		}
+		tr := ff.Traits()
+		fmt.Printf("  %-10s %8.2f MiB  pad %6.3f  meta %5.2f B/nnz  %s\n",
+			b.Name, float64(ff.Bytes())/(1<<20), tr.PaddingRatio, tr.MetaBytesPerNNZ, tr.Balancing)
+	}
+
+	if *predict {
+		fmt.Println("\ndevice-model predictions (best format):")
+		for _, spec := range device.Testbeds() {
+			name, res, ok := spec.BestFormat(fv)
+			if !ok {
+				fmt.Printf("  %-12s infeasible\n", spec.Name)
+				continue
+			}
+			fmt.Printf("  %-12s %8.2f GFLOPS  %6.1f W  %.3f GFLOPS/W  best=%s  bottleneck=%s\n",
+				spec.Name, res.GFLOPS, res.Watts, res.GFLOPSPerWatt(), name, res.Bottleneck)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spmv-info: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command spmv-run measures real SpMV kernels on the host CPU for one
+// matrix, either read from MatrixMarket or generated on the fly.
+//
+// Usage:
+//
+//	spmv-run -file matrix.mtx -format CSR5 -workers 8 -iters 64
+//	spmv-run -rows 200000 -avg 20 -skew 100     # generated matrix, all formats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/device"
+	"repro/internal/formats"
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+func main() {
+	var (
+		file    = flag.String("file", "", "MatrixMarket input (empty: generate)")
+		format  = flag.String("format", "", "single format to run (empty: all)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		iters   = flag.Int("iters", 32, "SpMV iterations to time")
+		rows    = flag.Int("rows", 200000, "generated matrix rows")
+		avg     = flag.Float64("avg", 20, "generated average nonzeros per row")
+		skew    = flag.Float64("skew", 0, "generated skew coefficient")
+		sim     = flag.Float64("sim", 0.5, "generated cross-row similarity")
+		neigh   = flag.Float64("neigh", 1.0, "generated avg neighbors")
+		bw      = flag.Float64("bw", 0.3, "generated scaled bandwidth")
+		seed    = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	var m *matrix.CSR
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		mm, err := matrix.ReadMatrixMarket(bufio.NewReaderSize(f, 1<<20))
+		f.Close()
+		if err != nil {
+			fatalf("parse: %v", err)
+		}
+		m = mm
+	} else {
+		mm, err := gen.Generate(gen.Params{
+			Rows: *rows, Cols: *rows,
+			AvgNNZPerRow: *avg, StdNNZPerRow: *avg * 0.3,
+			SkewCoeff: *skew, BWScaled: *bw,
+			CrossRowSim: *sim, AvgNumNeigh: *neigh, Seed: *seed,
+		})
+		if err != nil {
+			fatalf("generate: %v", err)
+		}
+		m = mm
+	}
+	fmt.Printf("matrix: %s\n", m)
+
+	engine := device.NativeEngine{Workers: *workers, Iterations: *iters}
+	run := func(b formats.Builder) {
+		res := engine.Run(m, b)
+		if res.BuildErr != nil {
+			fmt.Printf("%-10s build refused: %v\n", b.Name, res.BuildErr)
+			return
+		}
+		fmt.Printf("%-10s %8.3f GFLOPS  (%d iters, %d workers, %.3fs)\n",
+			res.Format, res.GFLOPS, res.Iterations, res.Workers, res.Seconds)
+	}
+	if *format != "" {
+		b, ok := formats.Lookup(*format)
+		if !ok {
+			fatalf("unknown format %q", *format)
+		}
+		run(b)
+		return
+	}
+	for _, b := range formats.Registry() {
+		run(b)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spmv-run: "+format+"\n", args...)
+	os.Exit(1)
+}

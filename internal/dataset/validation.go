@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// ValidationMatrix is one row of Table III: a widely used real matrix
+// described by its published features. The regularity label holds the
+// avg-num-neighbors class first and the cross-row-similarity class second;
+// "S" (small) implies an irregular matrix.
+type ValidationMatrix struct {
+	ID          int
+	Name        string
+	FootprintMB float64 // f1
+	AvgNNZ      float64 // f2
+	Skew        float64 // f3
+	Regularity  string  // f4, e.g. "MM", "LS"
+}
+
+// TableIII returns the 45-matrix validation suite with the features
+// published in the paper.
+func TableIII() []ValidationMatrix {
+	return []ValidationMatrix{
+		{1, "scircuit", 11.63, 5.61, 61.95, "MM"},
+		{2, "mac_econ_fwd500", 15.36, 6.17, 6.14, "MS"},
+		{3, "raefsky3", 17.12, 70.22, 0.14, "LL"},
+		{4, "bbmat", 20.42, 45.73, 1.76, "LM"},
+		{5, "conf5_4-8x8-15", 22.13, 39, 0, "LL"},
+		{6, "mc2depi", 26.04, 3.99, 0, "LS"},
+		{7, "rma10", 27.35, 50.69, 1.86, "LL"},
+		{8, "cop20k_A", 30.5, 21.65, 2.74, "MM"},
+		{9, "thermomech_dK", 33.35, 13.93, 0.44, "MM"},
+		{10, "webbase-1M", 39.35, 3.11, 1512.43, "LS"},
+		{11, "cant", 46.1, 64.17, 0.22, "LL"},
+		{12, "ASIC_680k", 46.91, 5.67, 69710.56, "LM"},
+		{13, "pdb1HYS", 49.86, 119.31, 0.71, "LL"},
+		{14, "TSOPF_RS_b300_c3", 50.67, 104.74, 1, "LL"},
+		{15, "Chebyshev4", 61.8, 78.94, 861.9, "LL"},
+		{16, "consph", 69.1, 72.13, 0.12, "LL"},
+		{17, "com-Youtube", 72.71, 5.27, 5460.3, "MS"},
+		{18, "rajat30", 73.13, 9.59, 47421.8, "MM"},
+		{19, "radiation", 88.26, 34.23, 101.18, "SS"},
+		{20, "Stanford_Berkeley", 89.39, 11.1, 7519.69, "MM"},
+		{21, "shipsec1", 89.95, 55.46, 0.84, "LL"},
+		{22, "PR02R", 94.29, 50.82, 0.81, "LM"},
+		{23, "gupta3", 106.76, 555.53, 25.41, "LL"},
+		{24, "mip1", 118.73, 155.77, 425.24, "LL"},
+		{25, "rail4284", 129.15, 2633.99, 20.33, "SL"},
+		{26, "pwtk", 133.98, 53.39, 2.37, "LL"},
+		{27, "crankseg_2", 162.16, 221.64, 14.44, "LL"},
+		{28, "Si41Ge41H72", 172.5, 80.86, 7.19, "LM"},
+		{29, "TSOPF_RS_b2383", 185.21, 424.22, 1.32, "LL"},
+		{30, "in-2004", 198.88, 12.23, 632.78, "LL"},
+		{31, "Ga41As41H72", 212.61, 68.96, 9.18, "LM"},
+		{32, "eu-2005", 223.42, 22.3, 312.27, "LM"},
+		{33, "wikipedia-20051105", 232.29, 12.08, 410.37, "SS"},
+		{34, "human_gene1", 282.41, 1107.11, 6.17, "SS"},
+		{35, "delaunay_n22", 304, 6, 2.83, "MS"},
+		{36, "sx-stackoverflow", 424.58, 13.93, 2738.46, "SS"},
+		{37, "dgreen", 442.43, 31.87, 4.87, "SS"},
+		{38, "mawi_201512012345", 506.18, 2.05, 8006372.09, "LM"},
+		{39, "ldoor", 536.04, 48.86, 0.58, "LL"},
+		{40, "dielFilterV2real", 559.9, 41.94, 1.62, "MM"},
+		{41, "circuit5M", 702.4, 10.71, 120504.85, "LM"},
+		{42, "soc-LiveJournal1", 808.06, 14.23, 1424.81, "SS"},
+		{43, "bone010", 823.92, 72.63, 0.12, "LL"},
+		{44, "audikw_1", 892.25, 82.28, 3.19, "LL"},
+		{45, "cage15", 1154.91, 19.24, 1.44, "LS"},
+	}
+}
+
+// classMid maps a Table III class letter to the midpoint of its subrange.
+func classMid(letter byte, lo, hi float64) float64 {
+	span := (hi - lo) / 3
+	switch letter {
+	case 'S':
+		return lo + span/2
+	case 'M':
+		return lo + span*1.5
+	default: // 'L'
+		return lo + span*2.5
+	}
+}
+
+// Features converts the published row into a full feature vector. The
+// paper publishes class labels rather than raw regularity values, so the
+// subfeature midpoints stand in; the scaled bandwidth is not published and
+// defaults to the grid midpoint.
+func (v ValidationMatrix) Features() core.FeatureVector {
+	neigh := classMid(v.Regularity[0], 0, 2)
+	sim := classMid(v.Regularity[1], 0, 1)
+	fv := Point(v.FootprintMB, v.AvgNNZ, v.Skew, sim, neigh, 0.3)
+	return fv
+}
+
+// FriendsPerMatrix is the approximate number of artificial friends the
+// paper generates per validation matrix.
+const FriendsPerMatrix = 70
+
+// FriendRange is the ± relative range friends explore around each feature.
+const FriendRange = 0.30
+
+// Friends generates the artificial companions of a validation matrix:
+// feature vectors drawn uniformly within ±30% of each feature,
+// deterministic in the suite seed and matrix ID.
+func (v ValidationMatrix) Friends(n int, seed int64) []core.FeatureVector {
+	if n <= 0 {
+		n = FriendsPerMatrix
+	}
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(v.ID)))
+	base := v.Features()
+	out := make([]core.FeatureVector, 0, n)
+	for i := 0; i < n; i++ {
+		perturb := func(x float64) float64 {
+			return x * (1 + (rng.Float64()*2-1)*FriendRange)
+		}
+		mb := perturb(v.FootprintMB)
+		avg := perturb(v.AvgNNZ)
+		if avg < 1 {
+			avg = 1
+		}
+		skew := perturb(v.Skew)
+		sim := clampRange(perturb(base.CrossRowSim), 0, 1)
+		neigh := clampRange(perturb(base.AvgNumNeigh), 0, 1.99)
+		bw := clampRange(perturb(base.BWScaled), 0.01, 1)
+		out = append(out, Point(mb, avg, skew, sim, neigh, bw))
+	}
+	return out
+}
+
+func clampRange(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

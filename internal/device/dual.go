@@ -1,0 +1,37 @@
+package device
+
+// Dual-socket modeling, the multi-device execution behaviour the paper
+// leaves for future work ("Shedding more light to multiple device execution
+// behavior (e.g. dual CPU/socket) is left for future work", Section IV).
+
+// NUMA efficiency knobs for the dual-socket extension.
+const (
+	// Fraction of x-vector gathers that cross the socket interconnect when
+	// the matrix band spans both halves of an interleaved allocation.
+	dualRemoteShare = 0.35
+	// Remote accesses run at this fraction of local bandwidth.
+	dualRemoteEff = 0.6
+)
+
+// Dual returns a two-socket variant of a CPU spec under first-touch NUMA
+// placement: doubled cores, cache and local bandwidth, but cross-socket
+// traffic at reduced efficiency, so the effective bandwidth scales by less
+// than 2x. Non-CPU specs are returned unchanged (accelerators do not gang
+// this way for a single SpMV).
+func (s Spec) Dual() Spec {
+	if s.Class != CPU {
+		return s
+	}
+	d := s
+	d.Name = s.Name + "-2S"
+	d.Units = 2 * s.Units
+	d.LLCBytes = 2 * s.LLCBytes
+	// Effective DRAM bandwidth: local share at double rate, remote share
+	// crossing the interconnect.
+	scale := 2 * ((1 - dualRemoteShare) + dualRemoteShare*dualRemoteEff)
+	d.MemBWGBs = s.MemBWGBs * scale
+	d.LLCBWGBs = s.LLCBWGBs * 2
+	d.TDPWatts = 2 * s.TDPWatts
+	d.IdleWatts = 2 * s.IdleWatts
+	return d
+}

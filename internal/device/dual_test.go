@@ -1,0 +1,43 @@
+package device
+
+import "testing"
+
+func TestDualSocketScaling(t *testing.T) {
+	s, _ := ByName("AMD-EPYC-64")
+	d := s.Dual()
+	if d.Units != 2*s.Units || d.LLCBytes != 2*s.LLCBytes {
+		t.Error("dual socket should double cores and LLC")
+	}
+	if d.MemBWGBs <= s.MemBWGBs || d.MemBWGBs >= 2*s.MemBWGBs {
+		t.Errorf("dual bandwidth %.1f should lie strictly between 1x and 2x of %.1f",
+			d.MemBWGBs, s.MemBWGBs)
+	}
+	if d.Name == s.Name {
+		t.Error("dual spec must be distinguishable")
+	}
+}
+
+func TestDualSocketSpeedupSubLinear(t *testing.T) {
+	s, _ := ByName("AMD-EPYC-64")
+	d := s.Dual()
+	// A DRAM-bound matrix gains from the second socket, but less than 2x.
+	fv := fvAt(2048, 20, 0)
+	single := s.Estimate(fv, "Naive-CSR")
+	dual := d.Estimate(fv, "Naive-CSR")
+	speedup := dual.GFLOPS / single.GFLOPS
+	if speedup <= 1.2 || speedup >= 2 {
+		t.Errorf("dual-socket speedup = %.2fx, want in (1.2, 2)", speedup)
+	}
+	// Energy efficiency should not improve: double power for sub-2x gain.
+	if dual.GFLOPSPerWatt() > single.GFLOPSPerWatt()*1.02 {
+		t.Errorf("dual socket should not beat single on GFLOPS/W: %.3f vs %.3f",
+			dual.GFLOPSPerWatt(), single.GFLOPSPerWatt())
+	}
+}
+
+func TestDualNonCPUUnchanged(t *testing.T) {
+	g, _ := ByName("Tesla-A100")
+	if d := g.Dual(); d.Name != g.Name || d.Units != g.Units {
+		t.Error("non-CPU specs must pass through Dual unchanged")
+	}
+}

@@ -1,0 +1,121 @@
+package device
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/formats"
+	"repro/internal/matrix"
+)
+
+// NativeResult reports a measured (not modeled) SpMV run on the host CPU.
+type NativeResult struct {
+	Format     string
+	Workers    int
+	Iterations int
+	Seconds    float64 // total wall time of all iterations
+	GFLOPS     float64
+	BuildErr   error // non-nil when the format refused the matrix
+}
+
+// NativeEngine runs real format kernels on the host machine, the
+// measurement path the paper used on its CPU testbeds (128 iterations,
+// average performance).
+type NativeEngine struct {
+	Workers    int // 0: GOMAXPROCS
+	Iterations int // 0: 16
+	MinSeconds float64
+}
+
+// Run measures one format on one matrix. The first product is verified
+// against the CSR reference before timing.
+func (e NativeEngine) Run(m *matrix.CSR, builder formats.Builder) NativeResult {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	iters := e.Iterations
+	if iters <= 0 {
+		iters = 16
+	}
+	res := NativeResult{Format: builder.Name, Workers: workers, Iterations: iters}
+	f, err := builder.Build(m)
+	if err != nil {
+		res.BuildErr = err
+		return res
+	}
+	x := matrix.RandomVector(m.Cols, 12345)
+	y := make([]float64, m.Rows)
+
+	f.SpMVParallel(x, y, workers) // warm-up and page-in
+
+	start := time.Now()
+	done := 0
+	for done < iters || (e.MinSeconds > 0 && time.Since(start).Seconds() < e.MinSeconds) {
+		f.SpMVParallel(x, y, workers)
+		done++
+	}
+	res.Iterations = done
+	res.Seconds = time.Since(start).Seconds()
+	if res.Seconds > 0 {
+		res.GFLOPS = 2 * float64(m.NNZ()) * float64(done) / res.Seconds / 1e9
+	}
+	return res
+}
+
+// RunAll measures every format in the registry on the matrix, returning
+// results in registry order (including build failures).
+func (e NativeEngine) RunAll(m *matrix.CSR) []NativeResult {
+	var out []NativeResult
+	for _, b := range formats.Registry() {
+		out = append(out, e.Run(m, b))
+	}
+	return out
+}
+
+// HostSpec approximates the current machine as a Spec so modeled and native
+// results can sit on the same axes. Bandwidths are rough laptop/server
+// defaults; the native engine measures, it does not model.
+func HostSpec() Spec {
+	return Spec{
+		Name:      "host",
+		Class:     CPU,
+		Units:     runtime.GOMAXPROCS(0),
+		LanesPerU: 4,
+		FreqGHz:   2.5,
+		LLCBytes:  32 << 20,
+		MemBWGBs:  20, LLCBWGBs: 200,
+		TDPWatts: 65, IdleWatts: 15,
+		Formats: formatNames(),
+	}
+}
+
+func formatNames() []string {
+	var names []string
+	for _, b := range formats.Registry() {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+// MeasuredTraits builds the format for the matrix and returns its true
+// structural traits plus the measured feature vector, grounding the model
+// engine's analytic estimates.
+func MeasuredTraits(m *matrix.CSR, formatName string) (formats.Traits, core.FeatureVector, error) {
+	b, ok := formats.Lookup(formatName)
+	if !ok {
+		return formats.Traits{}, core.FeatureVector{}, &UnknownFormatError{formatName}
+	}
+	f, err := b.Build(m)
+	if err != nil {
+		return formats.Traits{}, core.FeatureVector{}, err
+	}
+	return f.Traits(), core.Extract(m), nil
+}
+
+// UnknownFormatError reports a format name absent from the registry.
+type UnknownFormatError struct{ Name string }
+
+// Error implements error.
+func (e *UnknownFormatError) Error() string { return "device: unknown format " + e.Name }

@@ -1,0 +1,226 @@
+package formats
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// CSR is the naive compressed-sparse-row format with row-block parallelism,
+// the baseline every platform in the paper provides.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int32
+	colIdx     []int32
+	val        []float64
+}
+
+// NewCSR wraps a CSR matrix (sharing its storage; the matrix must not be
+// mutated while the format is in use).
+func NewCSR(m *matrix.CSR) *CSR {
+	return &CSR{rows: m.Rows, cols: m.Cols, rowPtr: m.RowPtr, colIdx: m.ColIdx, val: m.Val}
+}
+
+// Name implements Format.
+func (f *CSR) Name() string { return "Naive-CSR" }
+
+// Rows implements Format.
+func (f *CSR) Rows() int { return f.rows }
+
+// Cols implements Format.
+func (f *CSR) Cols() int { return f.cols }
+
+// NNZ implements Format.
+func (f *CSR) NNZ() int64 { return int64(len(f.val)) }
+
+// Bytes implements Format.
+func (f *CSR) Bytes() int64 { return int64(len(f.val))*12 + int64(f.rows+1)*4 }
+
+// Traits implements Format.
+func (f *CSR) Traits() Traits {
+	return Traits{Balancing: RowGranular, MetaBytesPerNNZ: metaPerNNZCSR(len(f.val), f.rows)}
+}
+
+func metaPerNNZCSR(nnz, rows int) float64 {
+	if nnz == 0 {
+		return 4
+	}
+	return 4 + 4*float64(rows+1)/float64(nnz)
+}
+
+func csrRowRange(rowPtr, colIdx []int32, val, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			sum += val[k] * x[colIdx[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// SpMV implements Format.
+func (f *CSR) SpMV(x, y []float64) {
+	checkShape(f.Name(), f.rows, f.cols, x, y)
+	csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows)
+}
+
+// SpMVParallel implements Format, splitting rows into equal-count blocks.
+func (f *CSR) SpMVParallel(x, y []float64, workers int) {
+	checkShape(f.Name(), f.rows, f.cols, x, y)
+	ranges := sched.RowBlocks(f.rowPtr, workers)
+	runWorkers(len(ranges), func(w int) {
+		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, ranges[w].RowLo, ranges[w].RowHi)
+	})
+}
+
+// VecCSR is CSR with a 4-way unrolled inner loop, standing in for the
+// AVX2/NEON vectorized CSR kernels of the paper's CPU testbeds.
+type VecCSR struct {
+	CSR
+}
+
+// NewVecCSR builds the vectorized-CSR format.
+func NewVecCSR(m *matrix.CSR) *VecCSR { return &VecCSR{*NewCSR(m)} }
+
+// Name implements Format.
+func (f *VecCSR) Name() string { return "Vec-CSR" }
+
+// Traits implements Format.
+func (f *VecCSR) Traits() Traits {
+	t := f.CSR.Traits()
+	t.Vectorizable = true
+	return t
+}
+
+func vecCSRRowRange(rowPtr, colIdx []int32, val, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		start, end := int(rowPtr[i]), int(rowPtr[i+1])
+		var s0, s1, s2, s3 float64
+		k := start
+		for ; k+4 <= end; k += 4 {
+			s0 += val[k] * x[colIdx[k]]
+			s1 += val[k+1] * x[colIdx[k+1]]
+			s2 += val[k+2] * x[colIdx[k+2]]
+			s3 += val[k+3] * x[colIdx[k+3]]
+		}
+		sum := (s0 + s1) + (s2 + s3)
+		for ; k < end; k++ {
+			sum += val[k] * x[colIdx[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// SpMV implements Format.
+func (f *VecCSR) SpMV(x, y []float64) {
+	checkShape(f.Name(), f.rows, f.cols, x, y)
+	vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows)
+}
+
+// SpMVParallel implements Format.
+func (f *VecCSR) SpMVParallel(x, y []float64, workers int) {
+	checkShape(f.Name(), f.rows, f.cols, x, y)
+	ranges := sched.RowBlocks(f.rowPtr, workers)
+	runWorkers(len(ranges), func(w int) {
+		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, ranges[w].RowLo, ranges[w].RowHi)
+	})
+}
+
+// BalCSR is CSR with nonzero-balanced row partitioning (the paper's
+// "Balanced-CSR": nonzero balancing at row resolution).
+type BalCSR struct {
+	CSR
+}
+
+// NewBalCSR builds the balanced-CSR format.
+func NewBalCSR(m *matrix.CSR) *BalCSR { return &BalCSR{*NewCSR(m)} }
+
+// Name implements Format.
+func (f *BalCSR) Name() string { return "Bal-CSR" }
+
+// Traits implements Format.
+func (f *BalCSR) Traits() Traits {
+	t := f.CSR.Traits()
+	t.Balancing = NNZGranular
+	return t
+}
+
+// SpMVParallel implements Format, splitting rows into blocks of near-equal
+// nonzero count.
+func (f *BalCSR) SpMVParallel(x, y []float64, workers int) {
+	checkShape(f.Name(), f.rows, f.cols, x, y)
+	ranges := sched.NNZBalanced(f.rowPtr, workers)
+	runWorkers(len(ranges), func(w int) {
+		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, ranges[w].RowLo, ranges[w].RowHi)
+	})
+}
+
+// InspectorCSR models the vendor inspector-executor CSR (Intel MKL-IE,
+// AOCL-Sparse, ARMPL): the build step inspects the matrix and commits to an
+// execution strategy — vectorized inner loops when rows are long enough and
+// nonzero-balanced partitioning when row lengths are skewed.
+type InspectorCSR struct {
+	CSR
+	vectorize bool
+	balance   bool
+}
+
+// Inspection thresholds: rows shorter than vecMinRow on average do not repay
+// unrolling; skew above balMinSkew makes row blocks lose to nnz balancing.
+const (
+	vecMinRow  = 8.0
+	balMinSkew = 4.0
+)
+
+// NewInspectorCSR builds the inspector-executor CSR, analyzing the matrix.
+func NewInspectorCSR(m *matrix.CSR) *InspectorCSR {
+	f := &InspectorCSR{CSR: *NewCSR(m)}
+	avg := m.AvgRowNNZ()
+	f.vectorize = avg >= vecMinRow
+	if avg > 0 {
+		skew := (float64(m.MaxRowNNZ()) - avg) / avg
+		f.balance = skew > balMinSkew
+	}
+	return f
+}
+
+// Name implements Format.
+func (f *InspectorCSR) Name() string { return "MKL-IE" }
+
+// Traits implements Format.
+func (f *InspectorCSR) Traits() Traits {
+	t := f.CSR.Traits()
+	t.Preprocessed = true
+	t.Vectorizable = f.vectorize
+	if f.balance {
+		t.Balancing = NNZGranular
+	}
+	return t
+}
+
+// SpMV implements Format.
+func (f *InspectorCSR) SpMV(x, y []float64) {
+	checkShape(f.Name(), f.rows, f.cols, x, y)
+	if f.vectorize {
+		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows)
+	} else {
+		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows)
+	}
+}
+
+// SpMVParallel implements Format.
+func (f *InspectorCSR) SpMVParallel(x, y []float64, workers int) {
+	checkShape(f.Name(), f.rows, f.cols, x, y)
+	var ranges []sched.Range
+	if f.balance {
+		ranges = sched.NNZBalanced(f.rowPtr, workers)
+	} else {
+		ranges = sched.RowBlocks(f.rowPtr, workers)
+	}
+	runWorkers(len(ranges), func(w int) {
+		if f.vectorize {
+			vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, ranges[w].RowLo, ranges[w].RowHi)
+		} else {
+			csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, ranges[w].RowLo, ranges[w].RowHi)
+		}
+	})
+}

@@ -1,0 +1,277 @@
+package formats
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// ELL stores the matrix as dense rows x width column-major arrays, padding
+// every row to the length of the longest. It vectorizes well on balanced
+// matrices and degrades badly under row-length skew (Section II-B.3).
+type ELL struct {
+	rows, cols int
+	width      int
+	nnz        int64
+	colIdx     []int32   // rows*width, column-major: entry (i, k) at k*rows+i
+	val        []float64 // same layout; padding entries hold value 0, col 0
+}
+
+// MaxELLPaddedEntries bounds the dense ELL allocation; construction fails
+// beyond it, mirroring the memory blow-up that makes ELL unusable for
+// heavily skewed matrices.
+const MaxELLPaddedEntries = 1 << 28
+
+// NewELL builds the ELL format. It fails when rows*maxRowLen exceeds
+// MaxELLPaddedEntries.
+func NewELL(m *matrix.CSR) (*ELL, error) {
+	width := m.MaxRowNNZ()
+	if width == 0 {
+		width = 1
+	}
+	padded := int64(m.Rows) * int64(width)
+	if padded > MaxELLPaddedEntries {
+		return nil, fmt.Errorf("%w ELL: %d rows x width %d = %d padded entries (max %d)",
+			ErrBuild, m.Rows, width, padded, int64(MaxELLPaddedEntries))
+	}
+	f := &ELL{
+		rows: m.Rows, cols: m.Cols, width: width, nnz: int64(m.NNZ()),
+		colIdx: make([]int32, padded),
+		val:    make([]float64, padded),
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			f.colIdx[k*m.Rows+i] = c
+			f.val[k*m.Rows+i] = vals[k]
+		}
+		// Padding slots keep colIdx 0 and val 0; 0*x[0] contributes nothing
+		// for finite x.
+	}
+	return f, nil
+}
+
+// Name implements Format.
+func (f *ELL) Name() string { return "ELL" }
+
+// Rows implements Format.
+func (f *ELL) Rows() int { return f.rows }
+
+// Cols implements Format.
+func (f *ELL) Cols() int { return f.cols }
+
+// NNZ implements Format.
+func (f *ELL) NNZ() int64 { return f.nnz }
+
+// Width returns the padded row length.
+func (f *ELL) Width() int { return f.width }
+
+// Bytes implements Format: 12 bytes per padded slot.
+func (f *ELL) Bytes() int64 { return int64(len(f.val)) * 12 }
+
+// Traits implements Format.
+func (f *ELL) Traits() Traits {
+	pad := 0.0
+	meta := 4.0
+	if f.nnz > 0 {
+		pad = float64(int64(len(f.val))-f.nnz) / float64(f.nnz)
+		meta = float64(f.Bytes()-8*f.nnz) / float64(f.nnz)
+	}
+	return Traits{Balancing: RowGranular, PaddingRatio: pad, MetaBytesPerNNZ: meta, Vectorizable: true}
+}
+
+func (f *ELL) rowRange(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		for k := 0; k < f.width; k++ {
+			at := k*f.rows + i
+			sum += f.val[at] * x[f.colIdx[at]]
+		}
+		y[i] = sum
+	}
+}
+
+// SpMV implements Format.
+func (f *ELL) SpMV(x, y []float64) {
+	checkShape("ELL", f.rows, f.cols, x, y)
+	f.rowRange(x, y, 0, f.rows)
+}
+
+// SpMVParallel implements Format. Every row costs exactly width slots, so
+// equal row blocks are perfectly balanced in stored work (the imbalance
+// moved into the padding itself).
+func (f *ELL) SpMVParallel(x, y []float64, workers int) {
+	checkShape("ELL", f.rows, f.cols, x, y)
+	ranges := sched.RowBlocks(syntheticRowPtr(f.rows), workers)
+	runWorkers(len(ranges), func(w int) {
+		f.rowRange(x, y, ranges[w].RowLo, ranges[w].RowHi)
+	})
+}
+
+// syntheticRowPtr builds a trivial row pointer (one slot per row) for
+// formats that partition by row count alone.
+func syntheticRowPtr(rows int) []int32 {
+	p := make([]int32, rows+1)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return p
+}
+
+// HYB combines an ELL part holding the first k entries of every row with a
+// COO part holding the spill, k set to the average row length
+// (Section II-B.3). It keeps ELL's vectorization without its worst-case
+// padding.
+type HYB struct {
+	rows, cols int
+	nnz        int64
+	ell        *ELL
+	spill      *COO
+}
+
+// NewHYB builds the hybrid format with the threshold at the mean row length.
+func NewHYB(m *matrix.CSR) (*HYB, error) {
+	k := int(m.AvgRowNNZ() + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	return NewHYBThreshold(m, k)
+}
+
+// NewHYBThreshold builds HYB with an explicit ELL width k (exposed for the
+// ablation study of the split heuristic).
+func NewHYBThreshold(m *matrix.CSR, k int) (*HYB, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("%w HYB: negative threshold %d", ErrBuild, k)
+	}
+	padded := int64(m.Rows) * int64(k)
+	if padded > MaxELLPaddedEntries {
+		return nil, fmt.Errorf("%w HYB: threshold %d over %d rows exceeds padding bound", ErrBuild, k, m.Rows)
+	}
+	ellPart := &ELL{
+		rows: m.Rows, cols: m.Cols, width: k,
+		colIdx: make([]int32, padded),
+		val:    make([]float64, padded),
+	}
+	spill := matrix.NewCOO(m.Rows, m.Cols, 0)
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for j, c := range cols {
+			if j < k {
+				ellPart.colIdx[j*m.Rows+i] = c
+				ellPart.val[j*m.Rows+i] = vals[j]
+				ellPart.nnz++
+			} else {
+				spill.Append(int32(i), c, vals[j])
+			}
+		}
+	}
+	f := &HYB{
+		rows: m.Rows, cols: m.Cols, nnz: int64(m.NNZ()),
+		ell:   ellPart,
+		spill: &COO{rows: m.Rows, cols: m.Cols, rowIdx: spill.RowIdx, colIdx: spill.ColIdx, val: spill.Val},
+	}
+	return f, nil
+}
+
+// Name implements Format.
+func (f *HYB) Name() string { return "HYB" }
+
+// Rows implements Format.
+func (f *HYB) Rows() int { return f.rows }
+
+// Cols implements Format.
+func (f *HYB) Cols() int { return f.cols }
+
+// NNZ implements Format.
+func (f *HYB) NNZ() int64 { return f.nnz }
+
+// Bytes implements Format.
+func (f *HYB) Bytes() int64 { return f.ell.Bytes() + f.spill.Bytes() }
+
+// SpillNNZ returns the number of entries in the COO spill part.
+func (f *HYB) SpillNNZ() int64 { return f.spill.NNZ() }
+
+// Traits implements Format.
+func (f *HYB) Traits() Traits {
+	pad := 0.0
+	if f.nnz > 0 {
+		pad = float64(int64(len(f.ell.val))-f.ell.nnz) / float64(f.nnz)
+	}
+	return Traits{Balancing: NNZGranular, PaddingRatio: pad,
+		MetaBytesPerNNZ: float64(f.Bytes()-8*f.nnz) / float64(max64(f.nnz, 1)), Vectorizable: true}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SpMV implements Format.
+func (f *HYB) SpMV(x, y []float64) {
+	checkShape("HYB", f.rows, f.cols, x, y)
+	f.ell.SpMV(x, y)
+	// Accumulate the spill on top of the ELL result.
+	for k := range f.spill.val {
+		y[f.spill.rowIdx[k]] += f.spill.val[k] * x[f.spill.colIdx[k]]
+	}
+}
+
+// SpMVParallel implements Format: the ELL part runs row-parallel, then the
+// COO spill runs nnz-parallel with boundary carries.
+func (f *HYB) SpMVParallel(x, y []float64, workers int) {
+	checkShape("HYB", f.rows, f.cols, x, y)
+	f.ell.SpMVParallel(x, y, workers)
+	f.spill.spmvAddParallel(x, y, workers)
+}
+
+// spmvAddParallel accumulates the COO product onto an existing y (used by
+// HYB, which must not zero the ELL part's contribution).
+func (f *COO) spmvAddParallel(x, y []float64, workers int) {
+	n := len(f.val)
+	if n == 0 {
+		return
+	}
+	if workers <= 1 || n < 2*workers {
+		for k := range f.val {
+			y[f.rowIdx[k]] += f.val[k] * x[f.colIdx[k]]
+		}
+		return
+	}
+	type carry struct {
+		row int32
+		sum float64
+	}
+	carries := make([][]carry, workers)
+	runWorkers(workers, func(w int) {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		var local []carry
+		k := lo
+		for k < hi {
+			row := f.rowIdx[k]
+			sum := 0.0
+			for k < hi && f.rowIdx[k] == row {
+				sum += f.val[k] * x[f.colIdx[k]]
+				k++
+			}
+			// A row is unsafe if it may be shared with a neighboring chunk.
+			sharedLeft := lo > 0 && f.rowIdx[lo-1] == row
+			sharedRight := k == hi && hi < n && f.rowIdx[hi] == row
+			if sharedLeft || sharedRight {
+				local = append(local, carry{row, sum})
+			} else {
+				y[row] += sum
+			}
+		}
+		carries[w] = local
+	})
+	for _, local := range carries {
+		for _, c := range local {
+			y[c.row] += c.sum
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package formats implements the sparse storage formats and SpMV kernels
+// evaluated by the paper: the state-of-practice formats COO, CSR (naive,
+// vectorized, balanced, inspector-executor), ELL and HYB, the research
+// formats CSR5, Merge-CSR, SELL-C-sigma and a SparseX-like compressed
+// format, and a VSL-like column-major FPGA format — plus DIA and BCSR as
+// extensions. Every format builds from a CSR matrix and provides serial and
+// parallel double-precision SpMV kernels producing the same result as the
+// CSR reference (up to floating-point reassociation).
+//
+// Each format also reports Traits — padding ratio, metadata volume, work
+// distribution discipline — which ground the analytical device models in
+// internal/device on actually-built structures.
+package formats
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// Format is a built sparse-matrix representation with SpMV kernels.
+type Format interface {
+	// Name returns the format identifier, e.g. "CSR5" or "SELL-C-s".
+	Name() string
+	// Rows and Cols return the logical matrix shape.
+	Rows() int
+	Cols() int
+	// NNZ returns the number of logical nonzeros (excluding padding).
+	NNZ() int64
+	// Bytes returns the total storage footprint in bytes, including
+	// metadata and zero padding.
+	Bytes() int64
+	// SpMV computes y = A*x serially.
+	SpMV(x, y []float64)
+	// SpMVParallel computes y = A*x using the given number of workers.
+	SpMVParallel(x, y []float64, workers int)
+	// Traits reports the structural characteristics of this instance.
+	Traits() Traits
+}
+
+// Balancing classifies a format's work-distribution discipline.
+type Balancing int
+
+// Work-distribution disciplines, coarsest to finest.
+const (
+	RowGranular  Balancing = iota // equal row counts; skew-sensitive
+	NNZGranular                   // equal nonzero counts over whole rows
+	ItemGranular                  // merge-path style; splits inside rows
+)
+
+// String names the balancing discipline.
+func (b Balancing) String() string {
+	switch b {
+	case RowGranular:
+		return "row-granular"
+	case NNZGranular:
+		return "nnz-granular"
+	case ItemGranular:
+		return "item-granular"
+	}
+	return fmt.Sprintf("Balancing(%d)", int(b))
+}
+
+// Traits summarizes the structural cost profile of a built format instance.
+// The analytical device model consumes these.
+type Traits struct {
+	// Balancing is the work-distribution discipline of the parallel kernel.
+	Balancing Balancing
+	// PaddingRatio is (stored entries - nnz) / nnz; zero for unpadded
+	// formats, skew-sized for ELL-family formats.
+	PaddingRatio float64
+	// MetaBytesPerNNZ is the metadata traffic per stored nonzero (indices,
+	// pointers, descriptors), excluding the 8-byte value itself.
+	MetaBytesPerNNZ float64
+	// Vectorizable reports whether the inner loop is laid out for SIMD
+	// (column-major chunks, unrolled tiles).
+	Vectorizable bool
+	// Preprocessed reports inspector-executor style build-time analysis,
+	// which the paper excludes from kernel time but notes as a cost.
+	Preprocessed bool
+}
+
+// ErrBuild wraps format construction failures (excessive padding, capacity).
+var ErrBuild = errors.New("formats: cannot build")
+
+// Builder constructs a format from a CSR matrix.
+type Builder struct {
+	Name  string
+	Build func(m *matrix.CSR) (Format, error)
+}
+
+// Registry returns all format builders in a stable order: the
+// state-of-practice formats first, then the research formats, then the
+// extensions. The VSL builder uses the default HBM capacity.
+func Registry() []Builder {
+	return []Builder{
+		{"COO", func(m *matrix.CSR) (Format, error) { return NewCOO(m), nil }},
+		{"Naive-CSR", func(m *matrix.CSR) (Format, error) { return NewCSR(m), nil }},
+		{"Vec-CSR", func(m *matrix.CSR) (Format, error) { return NewVecCSR(m), nil }},
+		{"Bal-CSR", func(m *matrix.CSR) (Format, error) { return NewBalCSR(m), nil }},
+		{"MKL-IE", func(m *matrix.CSR) (Format, error) { return NewInspectorCSR(m), nil }},
+		{"ELL", func(m *matrix.CSR) (Format, error) { return NewELL(m) }},
+		{"HYB", func(m *matrix.CSR) (Format, error) { return NewHYB(m) }},
+		{"CSR5", func(m *matrix.CSR) (Format, error) { return NewCSR5(m) }},
+		{"Merge-CSR", func(m *matrix.CSR) (Format, error) { return NewMergeCSR(m), nil }},
+		{"SELL-C-s", func(m *matrix.CSR) (Format, error) { return NewSELLCS(m, DefaultChunk, DefaultSigma) }},
+		{"SparseX", func(m *matrix.CSR) (Format, error) { return NewSPX(m), nil }},
+		{"VSL", func(m *matrix.CSR) (Format, error) { return NewVSL(m, DefaultVSLConfig()) }},
+		{"DIA", func(m *matrix.CSR) (Format, error) { return NewDIA(m) }},
+		{"BCSR", func(m *matrix.CSR) (Format, error) { return NewBCSR(m, 2, 2) }},
+	}
+}
+
+// Lookup returns the builder with the given name, or false.
+func Lookup(name string) (Builder, bool) {
+	for _, b := range Registry() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Builder{}, false
+}
+
+// runWorkers invokes f(0..p-1) on p goroutines and waits for completion.
+func runWorkers(p int, f func(w int)) {
+	if p <= 1 {
+		f(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			f(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// checkShape panics on kernel shape mismatches; calling SpMV with the wrong
+// vector lengths is a programmer error.
+func checkShape(name string, rows, cols int, x, y []float64) {
+	if len(x) != cols || len(y) != rows {
+		panic(fmt.Sprintf("formats: %s SpMV shape mismatch: x %d y %d for %dx%d",
+			name, len(x), len(y), rows, cols))
+	}
+}
+
+// zero clears a vector.
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}

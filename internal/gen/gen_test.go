@@ -1,0 +1,306 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+func mustGenerate(t *testing.T, p Params) *matrix.CSR {
+	t.Helper()
+	m, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate(%+v): %v", p, err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("generated matrix invalid: %v", err)
+	}
+	return m
+}
+
+func baseParams() Params {
+	return Params{
+		Rows: 4000, Cols: 4000,
+		AvgNNZPerRow: 20, StdNNZPerRow: 5,
+		BWScaled: 0.3, CrossRowSim: 0.2, AvgNumNeigh: 0.5,
+		Seed: 42,
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.Rows = 0 },
+		func(p *Params) { p.Cols = -1 },
+		func(p *Params) { p.AvgNNZPerRow = 0 },
+		func(p *Params) { p.AvgNNZPerRow = 1e9 },
+		func(p *Params) { p.StdNNZPerRow = -1 },
+		func(p *Params) { p.SkewCoeff = -1 },
+		func(p *Params) { p.BWScaled = 1.5 },
+		func(p *Params) { p.CrossRowSim = -0.1 },
+		func(p *Params) { p.AvgNumNeigh = 2.0 },
+	}
+	for i, mutate := range cases {
+		p := baseParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+	if err := baseParams().Validate(); err != nil {
+		t.Errorf("Validate rejected good params: %v", err)
+	}
+}
+
+func TestGenerateAvgNNZ(t *testing.T) {
+	p := baseParams()
+	m := mustGenerate(t, p)
+	fv := core.Extract(m)
+	if math.Abs(fv.AvgNNZPerRow-p.AvgNNZPerRow) > 0.05*p.AvgNNZPerRow {
+		t.Errorf("AvgNNZPerRow = %g, want ~%g", fv.AvgNNZPerRow, p.AvgNNZPerRow)
+	}
+}
+
+func TestGenerateSkew(t *testing.T) {
+	for _, skew := range []float64{0, 10, 100} {
+		p := baseParams()
+		p.SkewCoeff = skew
+		m := mustGenerate(t, p)
+		fv := core.Extract(m)
+		// Measured skew should track the request. With skew 0 the normal
+		// noise gives a small positive skew; allow a slack floor.
+		if skew == 0 {
+			if fv.SkewCoeff > 3 {
+				t.Errorf("skew 0: measured %g, want < 3", fv.SkewCoeff)
+			}
+			continue
+		}
+		if math.Abs(fv.SkewCoeff-skew) > 0.2*skew {
+			t.Errorf("skew %g: measured %g", skew, fv.SkewCoeff)
+		}
+	}
+}
+
+func TestGenerateInfeasibleSkewClamps(t *testing.T) {
+	p := baseParams()
+	p.Rows, p.Cols = 500, 500
+	p.AvgNNZPerRow = 20
+	p.SkewCoeff = 10000 // max row would be 200020 > 500 cols
+	m := mustGenerate(t, p)
+	fv := core.Extract(m)
+	maxSkew := p.MaxFeasibleSkew()
+	if fv.SkewCoeff > maxSkew+1 {
+		t.Errorf("measured skew %g exceeds feasibility bound %g", fv.SkewCoeff, maxSkew)
+	}
+	if m.MaxRowNNZ() != 500 {
+		t.Errorf("clamped max row = %d, want full row 500", m.MaxRowNNZ())
+	}
+}
+
+func TestGenerateCrossRowSim(t *testing.T) {
+	for _, sim := range []float64{0.05, 0.5, 0.95} {
+		p := baseParams()
+		p.CrossRowSim = sim
+		p.AvgNumNeigh = 0.05
+		p.BWScaled = 0.5
+		m := mustGenerate(t, p)
+		fv := core.Extract(m)
+		if math.Abs(fv.CrossRowSim-sim) > 0.15 {
+			t.Errorf("sim %g: measured %g", sim, fv.CrossRowSim)
+		}
+	}
+}
+
+func TestGenerateNeighbors(t *testing.T) {
+	for _, neigh := range []float64{0.05, 0.5, 0.95, 1.4, 1.9} {
+		p := baseParams()
+		p.AvgNumNeigh = neigh
+		p.CrossRowSim = 0.05
+		m := mustGenerate(t, p)
+		fv := core.Extract(m)
+		if math.Abs(fv.AvgNumNeigh-neigh) > 0.2 {
+			t.Errorf("neigh %g: measured %g", neigh, fv.AvgNumNeigh)
+		}
+	}
+}
+
+func TestGenerateNeighborsUnderSimilarity(t *testing.T) {
+	// The two locality features must stay independently controllable:
+	// heavy cross-row duplication must not destroy neighbor clustering.
+	for _, neigh := range []float64{0.5, 1.4, 1.9} {
+		p := baseParams()
+		p.AvgNumNeigh = neigh
+		p.CrossRowSim = 0.5
+		m := mustGenerate(t, p)
+		fv := core.Extract(m)
+		if math.Abs(fv.AvgNumNeigh-neigh) > 0.35 {
+			t.Errorf("neigh %g at sim 0.5: measured %g", neigh, fv.AvgNumNeigh)
+		}
+	}
+}
+
+func TestGenerateBandwidth(t *testing.T) {
+	for _, bw := range []float64{0.05, 0.3, 0.6} {
+		p := baseParams()
+		p.BWScaled = bw
+		p.CrossRowSim = 0 // duplication widens spans across the walk
+		m := mustGenerate(t, p)
+		fv := core.Extract(m)
+		if math.Abs(fv.BWScaled-bw) > 0.35*bw+0.02 {
+			t.Errorf("bw %g: measured %g", bw, fv.BWScaled)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := baseParams()
+	a := mustGenerate(t, p)
+	b := mustGenerate(t, p)
+	if !a.Equal(b) {
+		t.Error("same seed produced different matrices")
+	}
+	p.Seed = 43
+	c := mustGenerate(t, p)
+	if a.Equal(c) {
+		t.Error("different seeds produced identical matrices")
+	}
+}
+
+func TestGenerateWorkerInvariance(t *testing.T) {
+	p := baseParams()
+	p.Rows = chunkRows*2 + 500 // straddle several chunks
+	serial, err := GenerateParallel(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := GenerateParallel(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Equal(parallel) {
+		t.Error("worker count changed the generated matrix")
+	}
+}
+
+func TestGenerateFootprintTarget(t *testing.T) {
+	for _, mb := range []float64{1, 4, 16} {
+		fv := core.FeatureVector{MemFootprintMB: mb, AvgNNZPerRow: 20, BWScaled: 0.3}
+		p := FromFeatures(fv, 7)
+		m := mustGenerate(t, p)
+		got := m.FootprintMB()
+		if math.Abs(got-mb) > 0.1*mb {
+			t.Errorf("footprint target %g MB: got %g MB", mb, got)
+		}
+	}
+}
+
+func TestRowsForFootprint(t *testing.T) {
+	rows := RowsForFootprint(4, 20)
+	// 4 MiB / (12*20+4) bytes per row.
+	want := int(4 * (1 << 20) / 244)
+	if math.Abs(float64(rows-want)) > 2 {
+		t.Errorf("RowsForFootprint = %d, want ~%d", rows, want)
+	}
+	if RowsForFootprint(0.000001, 100) != 1 {
+		t.Error("tiny footprint should clamp to 1 row")
+	}
+}
+
+func TestGenerateTinyMatrix(t *testing.T) {
+	p := Params{Rows: 1, Cols: 1, AvgNNZPerRow: 1, Seed: 1, BWScaled: 1}
+	m := mustGenerate(t, p)
+	if m.NNZ() != 1 {
+		t.Errorf("1x1 matrix NNZ = %d, want 1", m.NNZ())
+	}
+}
+
+func TestGenerateDenseWindow(t *testing.T) {
+	// Rows nearly as long as the matrix is wide force the collision path.
+	p := Params{Rows: 64, Cols: 64, AvgNNZPerRow: 60, StdNNZPerRow: 4,
+		BWScaled: 0.1, CrossRowSim: 0.5, AvgNumNeigh: 1.0, Seed: 3}
+	m := mustGenerate(t, p)
+	fv := core.Extract(m)
+	if math.Abs(fv.AvgNNZPerRow-60) > 4 {
+		t.Errorf("dense window: avg nnz/row = %g, want ~60", fv.AvgNNZPerRow)
+	}
+}
+
+func TestGenerateUniformDistribution(t *testing.T) {
+	p := baseParams()
+	p.Dist = Uniform
+	p.StdNNZPerRow = 3
+	m := mustGenerate(t, p)
+	fv := core.Extract(m)
+	if math.Abs(fv.AvgNNZPerRow-p.AvgNNZPerRow) > 1 {
+		t.Errorf("uniform dist: avg = %g, want ~%g", fv.AvgNNZPerRow, p.AvgNNZPerRow)
+	}
+	// Uniform rows are bounded: max <= avg + std*sqrt(3) + rounding.
+	bound := p.AvgNNZPerRow + p.StdNNZPerRow*math.Sqrt(3) + 1
+	if float64(m.MaxRowNNZ()) > bound {
+		t.Errorf("uniform dist: max row %d exceeds bound %g", m.MaxRowNNZ(), bound)
+	}
+}
+
+func TestSolveDecayConstant(t *testing.T) {
+	for _, ratio := range []float64{1.5, 2, 11, 101, 1001} {
+		c := solveDecayConstant(ratio)
+		mean := (1 - math.Exp(-c)) / c
+		if math.Abs(mean-1/ratio) > 1e-6/ratio+1e-12 {
+			t.Errorf("ratio %g: C=%g gives mean %g, want %g", ratio, c, mean, 1/ratio)
+		}
+	}
+	if solveDecayConstant(1) != 0 {
+		t.Error("ratio 1 should give C=0")
+	}
+}
+
+func TestGenerateSpMVCorrectness(t *testing.T) {
+	// The generated matrix must behave like any other matrix.
+	p := baseParams()
+	p.Rows, p.Cols = 300, 300
+	m := mustGenerate(t, p)
+	d := m.ToDense()
+	x := matrix.RandomVector(300, 9)
+	y1 := make([]float64, 300)
+	y2 := make([]float64, 300)
+	m.SpMV(x, y1)
+	d.SpMV(x, y2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-9 {
+			t.Fatalf("SpMV mismatch at %d", i)
+		}
+	}
+}
+
+// Property: generation never violates CSR invariants and hits the exact
+// requested total nonzero count for arbitrary small parameter draws.
+func TestQuickGenerateInvariants(t *testing.T) {
+	f := func(seed uint32, rowsRaw, avgRaw uint8, simRaw, neighRaw, bwRaw uint8) bool {
+		rows := int(rowsRaw%200) + 10
+		avg := float64(avgRaw%8) + 1
+		p := Params{
+			Rows: rows, Cols: rows,
+			AvgNNZPerRow: avg,
+			StdNNZPerRow: avg / 3,
+			SkewCoeff:    0,
+			BWScaled:     0.1 + float64(bwRaw%90)/100,
+			CrossRowSim:  float64(simRaw%100) / 100,
+			AvgNumNeigh:  float64(neighRaw%190) / 100,
+			Seed:         int64(seed),
+		}
+		m, err := Generate(p)
+		if err != nil {
+			return false
+		}
+		if m.Validate() != nil {
+			return false
+		}
+		want := int(math.Round(avg * float64(rows)))
+		return m.NNZ() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a sparse matrix in coordinate (triplet) format: entry k lives at
+// (RowIdx[k], ColIdx[k]) with value Val[k]. Entries may be in any order and
+// may contain duplicates until Compact is called.
+type COO struct {
+	Rows, Cols int
+	RowIdx     []int32
+	ColIdx     []int32
+	Val        []float64
+}
+
+// NewCOO returns an empty COO matrix with capacity for nnz entries.
+func NewCOO(rows, cols, nnz int) *COO {
+	return &COO{
+		Rows:   rows,
+		Cols:   cols,
+		RowIdx: make([]int32, 0, nnz),
+		ColIdx: make([]int32, 0, nnz),
+		Val:    make([]float64, 0, nnz),
+	}
+}
+
+// NNZ returns the number of stored entries, counting duplicates.
+func (m *COO) NNZ() int { return len(m.Val) }
+
+// Append adds one entry. It panics if the coordinates are out of range,
+// since that is a programmer error at assembly time.
+func (m *COO) Append(r, c int32, v float64) {
+	if r < 0 || int(r) >= m.Rows || c < 0 || int(c) >= m.Cols {
+		panic(fmt.Sprintf("matrix: COO entry (%d,%d) out of range %dx%d", r, c, m.Rows, m.Cols))
+	}
+	m.RowIdx = append(m.RowIdx, r)
+	m.ColIdx = append(m.ColIdx, c)
+	m.Val = append(m.Val, v)
+}
+
+// Compact sorts entries into row-major order and merges duplicates by
+// addition. It returns the number of merged duplicates.
+func (m *COO) Compact() int {
+	sort.Sort(cooOrder{m})
+	merged := 0
+	w := 0
+	for k := 0; k < len(m.Val); k++ {
+		if w > 0 && m.RowIdx[w-1] == m.RowIdx[k] && m.ColIdx[w-1] == m.ColIdx[k] {
+			m.Val[w-1] += m.Val[k]
+			merged++
+			continue
+		}
+		m.RowIdx[w] = m.RowIdx[k]
+		m.ColIdx[w] = m.ColIdx[k]
+		m.Val[w] = m.Val[k]
+		w++
+	}
+	m.RowIdx = m.RowIdx[:w]
+	m.ColIdx = m.ColIdx[:w]
+	m.Val = m.Val[:w]
+	return merged
+}
+
+type cooOrder struct{ m *COO }
+
+func (o cooOrder) Len() int { return len(o.m.Val) }
+func (o cooOrder) Less(i, j int) bool {
+	if o.m.RowIdx[i] != o.m.RowIdx[j] {
+		return o.m.RowIdx[i] < o.m.RowIdx[j]
+	}
+	return o.m.ColIdx[i] < o.m.ColIdx[j]
+}
+func (o cooOrder) Swap(i, j int) {
+	m := o.m
+	m.RowIdx[i], m.RowIdx[j] = m.RowIdx[j], m.RowIdx[i]
+	m.ColIdx[i], m.ColIdx[j] = m.ColIdx[j], m.ColIdx[i]
+	m.Val[i], m.Val[j] = m.Val[j], m.Val[i]
+}
+
+// ToCSR converts the COO matrix to CSR, compacting it first.
+func (m *COO) ToCSR() *CSR {
+	m.Compact()
+	c := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int32, m.Rows+1),
+		ColIdx: append([]int32(nil), m.ColIdx...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+	for _, r := range m.RowIdx {
+		c.RowPtr[r+1]++
+	}
+	for i := 0; i < m.Rows; i++ {
+		c.RowPtr[i+1] += c.RowPtr[i]
+	}
+	return c
+}
+
+// ToCOO converts a CSR matrix to coordinate format.
+func (m *CSR) ToCOO() *COO {
+	o := NewCOO(m.Rows, m.Cols, m.NNZ())
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			o.RowIdx = append(o.RowIdx, int32(i))
+			o.ColIdx = append(o.ColIdx, m.ColIdx[k])
+			o.Val = append(o.Val, m.Val[k])
+		}
+	}
+	return o
+}
+
+// SpMV computes y = A*x using the triplet entries. y is zeroed first.
+func (m *COO) SpMV(x, y []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("matrix: COO SpMV shape mismatch: x %d y %d for %dx%d", len(x), len(y), m.Rows, m.Cols))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for k := range m.Val {
+		y[m.RowIdx[k]] += m.Val[k] * x[m.ColIdx[k]]
+	}
+}

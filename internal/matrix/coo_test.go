@@ -1,0 +1,87 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCOOToCSRRoundTrip(t *testing.T) {
+	m := Random(25, 31, 0.2, 11)
+	back := m.ToCOO().ToCSR()
+	if !m.Equal(back) {
+		t.Error("CSR -> COO -> CSR changed the matrix")
+	}
+}
+
+func TestCOOCompactMergesDuplicates(t *testing.T) {
+	o := NewCOO(2, 2, 4)
+	o.Append(1, 1, 1)
+	o.Append(0, 0, 2)
+	o.Append(1, 1, 3)
+	o.Append(0, 1, 4)
+	merged := o.Compact()
+	if merged != 1 {
+		t.Errorf("merged = %d, want 1", merged)
+	}
+	if o.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", o.NNZ())
+	}
+	d := o.ToCSR().ToDense()
+	if d.At(1, 1) != 4 || d.At(0, 0) != 2 || d.At(0, 1) != 4 {
+		t.Errorf("wrong merged data: %+v", d.Data)
+	}
+}
+
+func TestCOOCompactOrdering(t *testing.T) {
+	o := NewCOO(3, 3, 3)
+	o.Append(2, 0, 1)
+	o.Append(0, 2, 2)
+	o.Append(1, 1, 3)
+	o.Compact()
+	for k := 1; k < o.NNZ(); k++ {
+		if o.RowIdx[k] < o.RowIdx[k-1] {
+			t.Fatal("rows not sorted after Compact")
+		}
+	}
+}
+
+func TestCOOAppendPanicsOutOfRange(t *testing.T) {
+	o := NewCOO(2, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Append out of range did not panic")
+		}
+	}()
+	o.Append(2, 0, 1)
+}
+
+func TestCOOSpMVMatchesCSR(t *testing.T) {
+	m := Random(40, 40, 0.15, 12)
+	o := m.ToCOO()
+	x := RandomVector(40, 13)
+	y1 := make([]float64, 40)
+	y2 := make([]float64, 40)
+	m.SpMV(x, y1)
+	o.SpMV(x, y2)
+	vecAlmostEqual(t, y1, y2, 1e-12)
+}
+
+func TestCOOSpMVZeroesOutput(t *testing.T) {
+	m := Identity(4).ToCOO()
+	x := []float64{1, 2, 3, 4}
+	y := []float64{99, 99, 99, 99}
+	m.SpMV(x, y)
+	vecAlmostEqual(t, y, x, 0)
+}
+
+// Property: CSR -> COO -> CSR is the identity for arbitrary matrices.
+func TestQuickCOORoundTrip(t *testing.T) {
+	f := func(seedRaw uint32, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		m := Random(n, n, 0.25, int64(seedRaw))
+		return m.Equal(m.ToCOO().ToCSR())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

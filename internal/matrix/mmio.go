@@ -1,0 +1,136 @@
+package matrix
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MatrixMarket I/O for the "matrix coordinate" container, the interchange
+// format used by SuiteSparse and the paper's validation suite. Supported
+// qualifiers: real/integer/pattern x general/symmetric. Pattern entries read
+// as value 1; symmetric matrices are expanded to full storage on read.
+
+// ErrMMFormat reports a malformed MatrixMarket stream.
+var ErrMMFormat = errors.New("matrix: invalid MatrixMarket input")
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream into CSR.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty input", ErrMMFormat)
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("%w: bad banner %q", ErrMMFormat, sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("%w: unsupported container %q (only coordinate)", ErrMMFormat, header[2])
+	}
+	field, symmetry := header[3], header[4]
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("%w: unsupported field %q", ErrMMFormat, field)
+	}
+	switch symmetry {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("%w: unsupported symmetry %q", ErrMMFormat, symmetry)
+	}
+
+	// Skip comments, then read the size line.
+	var rows, cols, nnz int
+	for {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("%w: missing size line", ErrMMFormat)
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("%w: bad size line %q", ErrMMFormat, line)
+		}
+		break
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("%w: negative size", ErrMMFormat)
+	}
+
+	capHint := nnz
+	if symmetry == "symmetric" {
+		capHint *= 2
+	}
+	o := NewCOO(rows, cols, capHint)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		want := 3
+		if field == "pattern" {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, fmt.Errorf("%w: short entry %q", ErrMMFormat, line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad row in %q", ErrMMFormat, line)
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad col in %q", ErrMMFormat, line)
+		}
+		v := 1.0
+		if field != "pattern" {
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad value in %q", ErrMMFormat, line)
+			}
+		}
+		// MatrixMarket is 1-based.
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("%w: entry (%d,%d) outside %dx%d", ErrMMFormat, i, j, rows, cols)
+		}
+		o.Append(int32(i-1), int32(j-1), v)
+		if symmetry == "symmetric" && i != j {
+			o.Append(int32(j-1), int32(i-1), v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("%w: expected %d entries, got %d", ErrMMFormat, nnz, read)
+	}
+	return o.ToCSR(), nil
+}
+
+// WriteMatrixMarket writes m as a general real coordinate MatrixMarket stream.
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.ColIdx[k]+1, m.Val[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

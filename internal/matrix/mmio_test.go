@@ -1,0 +1,102 @@
+package matrix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := Random(17, 23, 0.2, 21)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !m.Equal(back) {
+		t.Error("round trip changed the matrix")
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 3
+1 1 2.0
+2 1 -1.0
+3 3 5.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4 (symmetric expansion)", m.NNZ())
+	}
+	d := m.ToDense()
+	if d.At(0, 1) != -1 || d.At(1, 0) != -1 {
+		t.Error("symmetric mirror entry missing")
+	}
+	if d.At(0, 0) != 2 || d.At(2, 2) != 5 {
+		t.Error("diagonal entries wrong")
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ToDense()
+	if d.At(0, 1) != 1 || d.At(1, 0) != 1 {
+		t.Error("pattern entries should read as 1")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad banner", "hello\n1 1 1\n1 1 1\n"},
+		{"array container", "%%MatrixMarket matrix array real general\n1 1\n1.0\n"},
+		{"complex field", "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"},
+		{"missing size", "%%MatrixMarket matrix coordinate real general\n"},
+		{"short entry", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n"},
+		{"out of range", "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"},
+		{"zero index", "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n"},
+		{"truncated", "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"},
+		{"bad value", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadMatrixMarket(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("accepted malformed input %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestMatrixMarketIntegerField(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer general
+2 2 2
+1 1 3
+2 2 -4
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ToDense()
+	if d.At(0, 0) != 3 || d.At(1, 1) != -4 {
+		t.Error("integer values wrong")
+	}
+}

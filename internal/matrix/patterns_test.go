@@ -1,0 +1,80 @@
+package matrix
+
+import "testing"
+
+func TestTridiagonalStructure(t *testing.T) {
+	m := Tridiagonal(5, 2, -1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 13 { // 3*5 - 2
+		t.Errorf("NNZ = %d, want 13", m.NNZ())
+	}
+	d := m.ToDense()
+	if d.At(0, 0) != 2 || d.At(0, 1) != -1 || d.At(4, 3) != -1 {
+		t.Error("wrong tridiagonal values")
+	}
+}
+
+func TestLaplacian2DRowSums(t *testing.T) {
+	m := Laplacian2D(4, 4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Interior rows sum to zero; boundary rows are positive.
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, 16)
+	m.SpMV(x, y)
+	interior := 1*4 + 1 // grid point (1,1)
+	if y[interior] != 0 {
+		t.Errorf("interior row sum = %g, want 0", y[interior])
+	}
+	if y[0] <= 0 {
+		t.Errorf("corner row sum = %g, want > 0", y[0])
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	a := Random(20, 20, 0.3, 5)
+	b := Random(20, 20, 0.3, 5)
+	if !a.Equal(b) {
+		t.Error("Random with the same seed differs")
+	}
+	c := Random(20, 20, 0.3, 6)
+	if a.Equal(c) {
+		t.Error("Random with different seeds produced identical matrices")
+	}
+}
+
+func TestRandomRowSizesExact(t *testing.T) {
+	sizes := []int{0, 3, 7, 1}
+	m := RandomRowSizes(4, 50, sizes, 3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range sizes {
+		if got := m.RowNNZ(i); got != want {
+			t.Errorf("row %d has %d entries, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRandomRowSizesClampsToCols(t *testing.T) {
+	m := RandomRowSizes(1, 4, []int{10}, 3)
+	if got := m.RowNNZ(0); got != 4 {
+		t.Errorf("row 0 has %d entries, want clamp to 4", got)
+	}
+}
+
+func TestRandomVectorDeterminism(t *testing.T) {
+	a := RandomVector(10, 1)
+	b := RandomVector(10, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RandomVector with same seed differs")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package precision implements the precision study the paper defers to
+// future work ("we use double precision ... and leave the study of other
+// precision levels for future work", Section IV): CSR SpMV kernels at
+// single precision and in a mixed scheme (float32 storage with float64
+// accumulation), plus the traffic accounting that predicts their speedup
+// on bandwidth-bound devices.
+//
+// The value of lower precision for SpMV is almost entirely traffic: a
+// float32 CSR matrix moves 8 bytes per nonzero (4 value + 4 index) instead
+// of 12, a 1.5x reduction that bandwidth-bound SpMV converts directly into
+// throughput. The mixed kernel keeps that traffic while restoring most of
+// the accumulation accuracy.
+package precision
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// CSR32 is a single-precision CSR matrix.
+type CSR32 struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Val        []float32
+}
+
+// FromCSR converts a double-precision matrix, rounding values to float32.
+func FromCSR(m *matrix.CSR) *CSR32 {
+	f := &CSR32{
+		Rows: m.Rows, Cols: m.Cols,
+		RowPtr: m.RowPtr, ColIdx: m.ColIdx,
+		Val: make([]float32, len(m.Val)),
+	}
+	for i, v := range m.Val {
+		f.Val[i] = float32(v)
+	}
+	return f
+}
+
+// NNZ returns the stored nonzero count.
+func (m *CSR32) NNZ() int { return len(m.Val) }
+
+// Bytes returns the storage footprint: 8 bytes per nonzero plus row
+// pointers, against CSR's 12.
+func (m *CSR32) Bytes() int64 { return int64(m.NNZ())*8 + int64(m.Rows+1)*4 }
+
+// SpMV32 computes y = A*x entirely in single precision.
+func (m *CSR32) SpMV32(x, y []float32) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("precision: SpMV32 shape mismatch: x %d y %d for %dx%d",
+			len(x), len(y), m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		var sum float32
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// SpMVMixed computes y = A*x with float32 storage and float64 accumulation,
+// the scheme HBM FPGA accelerators favor (fixed traffic, wide accumulators).
+func (m *CSR32) SpMVMixed(x []float32, y []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("precision: SpMVMixed shape mismatch: x %d y %d for %dx%d",
+			len(x), len(y), m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		sum := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += float64(m.Val[k]) * float64(x[m.ColIdx[k]])
+		}
+		y[i] = sum
+	}
+}
+
+// SpMV32Parallel is the nnz-balanced parallel single-precision kernel.
+func (m *CSR32) SpMV32Parallel(x, y []float32, workers int) {
+	ranges := sched.NNZBalanced(m.RowPtr, workers)
+	done := make(chan struct{}, len(ranges))
+	for w := range ranges {
+		go func(r sched.Range) {
+			for i := r.RowLo; i < r.RowHi; i++ {
+				var sum float32
+				for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+					sum += m.Val[k] * x[m.ColIdx[k]]
+				}
+				y[i] = sum
+			}
+			done <- struct{}{}
+		}(ranges[w])
+	}
+	for range ranges {
+		<-done
+	}
+}
+
+// TrafficRatio returns the bandwidth-bound speedup bound of single over
+// double precision for this matrix: double bytes / single bytes, counting
+// the matrix stream and both vectors once.
+func TrafficRatio(m *matrix.CSR) float64 {
+	double := float64(m.FootprintBytes()) + 8*float64(m.Rows+m.Cols)
+	single := float64(int64(m.NNZ())*8+int64(m.Rows+1)*4) + 4*float64(m.Rows+m.Cols)
+	if single == 0 {
+		return 1
+	}
+	return double / single
+}
+
+// Comparison holds the per-precision error and traffic of one matrix.
+type Comparison struct {
+	TrafficRatio   float64 // bandwidth-bound fp32 speedup bound
+	MaxRelErr32    float64 // worst relative error of pure float32
+	MaxRelErrMixed float64 // worst relative error of the mixed scheme
+}
+
+// Compare runs all three kernels on the matrix with a shared random x and
+// reports the achievable traffic gain and the accuracy cost.
+func Compare(m *matrix.CSR, seed int64) Comparison {
+	x64 := matrix.RandomVector(m.Cols, seed)
+	x32 := make([]float32, m.Cols)
+	for i, v := range x64 {
+		x32[i] = float32(v)
+	}
+	want := make([]float64, m.Rows)
+	m.SpMV(x64, want)
+
+	m32 := FromCSR(m)
+	y32 := make([]float32, m.Rows)
+	m32.SpMV32(x32, y32)
+	yMixed := make([]float64, m.Rows)
+	m32.SpMVMixed(x32, yMixed)
+
+	c := Comparison{TrafficRatio: TrafficRatio(m)}
+	for i := range want {
+		c.MaxRelErr32 = math.Max(c.MaxRelErr32, relErr(want[i], float64(y32[i])))
+		c.MaxRelErrMixed = math.Max(c.MaxRelErrMixed, relErr(want[i], yMixed[i]))
+	}
+	return c
+}
+
+func relErr(want, got float64) float64 {
+	scale := math.Max(math.Abs(want), 1e-30)
+	return math.Abs(got-want) / scale
+}

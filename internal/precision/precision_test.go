@@ -1,0 +1,110 @@
+package precision
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+func testMatrix(t *testing.T) *matrix.CSR {
+	t.Helper()
+	m, err := gen.Generate(gen.Params{
+		Rows: 3000, Cols: 3000, AvgNNZPerRow: 15, StdNNZPerRow: 4,
+		BWScaled: 0.3, CrossRowSim: 0.4, AvgNumNeigh: 0.8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFromCSRRoundsValues(t *testing.T) {
+	m := matrix.Identity(4)
+	m.Val[0] = 1.0000000001 // not representable in float32
+	f := FromCSR(m)
+	if f.Val[0] != 1.0 {
+		t.Errorf("Val[0] = %v, want rounded 1.0", f.Val[0])
+	}
+	if f.NNZ() != 4 {
+		t.Errorf("NNZ = %d", f.NNZ())
+	}
+}
+
+func TestBytesReduction(t *testing.T) {
+	m := testMatrix(t)
+	f := FromCSR(m)
+	ratio := float64(m.FootprintBytes()) / float64(f.Bytes())
+	// 12 bytes/nnz vs 8 bytes/nnz: asymptotically 1.5x.
+	if ratio < 1.4 || ratio > 1.55 {
+		t.Errorf("storage ratio = %.3f, want ~1.5", ratio)
+	}
+}
+
+func TestSpMV32MatchesWithinSinglePrecision(t *testing.T) {
+	m := testMatrix(t)
+	c := Compare(m, 9)
+	if c.MaxRelErr32 > 1e-3 {
+		t.Errorf("float32 relative error %g too large", c.MaxRelErr32)
+	}
+	if c.MaxRelErr32 == 0 {
+		t.Error("float32 should not be bit-exact against float64")
+	}
+}
+
+func TestMixedBeatsPureSingle(t *testing.T) {
+	// Long rows amplify accumulation error; mixed precision restores it.
+	sizes := make([]int, 50)
+	for i := range sizes {
+		sizes[i] = 2000
+	}
+	m := matrix.RandomRowSizes(50, 4000, sizes, 11)
+	c := Compare(m, 12)
+	if c.MaxRelErrMixed >= c.MaxRelErr32 {
+		t.Errorf("mixed error %g should beat pure float32 %g", c.MaxRelErrMixed, c.MaxRelErr32)
+	}
+}
+
+func TestTrafficRatioBounds(t *testing.T) {
+	m := testMatrix(t)
+	r := TrafficRatio(m)
+	if r < 1.3 || r > 1.6 {
+		t.Errorf("traffic ratio = %.3f, want within (1.3, 1.6)", r)
+	}
+}
+
+func TestParallelMatchesSerial32(t *testing.T) {
+	m := testMatrix(t)
+	f := FromCSR(m)
+	x := make([]float32, m.Cols)
+	for i := range x {
+		x[i] = float32(i%7) - 3
+	}
+	serial := make([]float32, m.Rows)
+	parallel := make([]float32, m.Rows)
+	f.SpMV32(x, serial)
+	f.SpMV32Parallel(x, parallel, 8)
+	for i := range serial {
+		if d := math.Abs(float64(serial[i] - parallel[i])); d > 1e-4 {
+			t.Fatalf("row %d: serial %g parallel %g", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	f := FromCSR(matrix.Identity(4))
+	for name, fn := range map[string]func(){
+		"SpMV32":    func() { f.SpMV32(make([]float32, 3), make([]float32, 4)) },
+		"SpMVMixed": func() { f.SpMVMixed(make([]float32, 3), make([]float64, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with wrong shape did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,187 @@
+// Package selector implements a feature-based storage-format selector, the
+// application the paper positions its feature set for ("a rather high
+// number of features have been used to train proper predictors for SpMV
+// performance", Section III-A — this package shows the minimal five-feature
+// set suffices for the selection task).
+//
+// Two selectors are provided:
+//
+//   - Rules: a hand-written decision list encoding the paper's takeaways
+//     (footprint picks the bandwidth regime, skew picks the balancing
+//     discipline, locality picks compressed formats);
+//   - Nearest: a k-nearest-neighbor predictor trained on labeled feature
+//     points (labels from the device model or from native measurements).
+//
+// Accuracy is judged against exhaustive search with the usual metric for
+// format selection: the performance retained by the predicted format
+// relative to the best format (>= 90% is competitive in the literature).
+package selector
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// Rules picks a format for the device using the paper's qualitative
+// takeaways. It needs no training and serves as the interpretable baseline.
+func Rules(spec device.Spec, fv core.FeatureVector) string {
+	has := func(name string) bool {
+		for _, f := range spec.Formats {
+			if f == name {
+				return true
+			}
+		}
+		return false
+	}
+	pick := func(names ...string) string {
+		for _, n := range names {
+			if has(n) {
+				return n
+			}
+		}
+		return spec.Formats[0]
+	}
+
+	switch {
+	case fv.SkewCoeff > 500:
+		// Heavy imbalance: item-granular formats first (Takeaway 7).
+		return pick("Merge-CSR", "CSR5", "MKL-IE", "Bal-CSR", "COO", "VSL")
+	case fv.AvgNumNeigh >= 1.4 && fv.MemFootprintMB >= 256:
+		// Large clustered matrices: compression attacks the bandwidth
+		// bottleneck (SparseX's niche).
+		return pick("SparseX", "SELL-C-s", "MKL-IE", "Bal-CSR", "VSL")
+	case fv.AvgNNZPerRow < 8:
+		// Short rows: avoid padding-happy formats; balanced CSR variants
+		// amortize row overheads best.
+		return pick("Merge-CSR", "MKL-IE", "Bal-CSR", "CSR5", "Naive-CSR", "COO", "VSL")
+	case fv.SkewCoeff <= 100 && fv.AvgNNZPerRow >= 50:
+		// Long balanced rows: vectorized/ELL-style formats shine.
+		return pick("SELL-C-s", "Vec-CSR", "MKL-IE", "HYB", "Bal-CSR", "VSL")
+	default:
+		return pick("MKL-IE", "Bal-CSR", "CSR5", "Merge-CSR", "Naive-CSR", "VSL")
+	}
+}
+
+// Sample is one labeled training point.
+type Sample struct {
+	FV   core.FeatureVector
+	Best string
+}
+
+// Nearest is a k-nearest-neighbor format selector over the normalized
+// feature space.
+type Nearest struct {
+	k       int
+	samples []Sample
+}
+
+// Train builds a k-NN selector by labelling the given feature points with
+// the device model's best format. k defaults to 5.
+func Train(spec device.Spec, points []core.FeatureVector, k int) *Nearest {
+	if k <= 0 {
+		k = 5
+	}
+	n := &Nearest{k: k}
+	for _, fv := range points {
+		if name, _, ok := spec.BestFormat(fv); ok {
+			n.samples = append(n.samples, Sample{FV: fv, Best: name})
+		}
+	}
+	return n
+}
+
+// TrainSamples builds the selector from pre-labeled samples (e.g. native
+// measurements).
+func TrainSamples(samples []Sample, k int) *Nearest {
+	if k <= 0 {
+		k = 5
+	}
+	return &Nearest{k: k, samples: samples}
+}
+
+// Len returns the training-set size.
+func (n *Nearest) Len() int { return len(n.samples) }
+
+// Predict returns the majority format among the k nearest training points,
+// with ties broken lexicographically. ok is false with no training data.
+func (n *Nearest) Predict(fv core.FeatureVector) (string, bool) {
+	if len(n.samples) == 0 {
+		return "", false
+	}
+	type cand struct {
+		d    float64
+		name string
+	}
+	cands := make([]cand, len(n.samples))
+	for i, s := range n.samples {
+		cands[i] = cand{core.Distance(fv, s.FV), s.Best}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].name < cands[b].name
+	})
+	k := n.k
+	if k > len(cands) {
+		k = len(cands)
+	}
+	votes := map[string]int{}
+	for _, c := range cands[:k] {
+		votes[c.name]++
+	}
+	best, bestVotes := "", -1
+	for name, v := range votes {
+		if v > bestVotes || (v == bestVotes && name < best) {
+			best, bestVotes = name, v
+		}
+	}
+	return best, true
+}
+
+// Evaluation summarizes selector quality over a test set.
+type Evaluation struct {
+	N           int     // evaluated points
+	Exact       float64 // fraction predicting exactly the best format
+	Retained    float64 // mean performance retained vs the best format
+	RetainedP10 float64 // 10th percentile of retained performance
+}
+
+// Evaluate scores a selector function against exhaustive search on the
+// device model.
+func Evaluate(spec device.Spec, points []core.FeatureVector, predict func(core.FeatureVector) string) Evaluation {
+	var ev Evaluation
+	var retained []float64
+	for _, fv := range points {
+		bestName, best, ok := spec.BestFormat(fv)
+		if !ok || best.GFLOPS <= 0 {
+			continue
+		}
+		name := predict(fv)
+		got := spec.Estimate(fv, name)
+		if !got.Feasible {
+			retained = append(retained, 0)
+			ev.N++
+			continue
+		}
+		if name == bestName {
+			ev.Exact++
+		}
+		retained = append(retained, got.GFLOPS/best.GFLOPS)
+		ev.N++
+	}
+	if ev.N == 0 {
+		return ev
+	}
+	ev.Exact /= float64(ev.N)
+	sum := 0.0
+	for _, r := range retained {
+		sum += r
+	}
+	ev.Retained = sum / float64(len(retained))
+	sort.Float64s(retained)
+	ev.RetainedP10 = retained[len(retained)/10]
+	return ev
+}

@@ -1,0 +1,112 @@
+package selector
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/device"
+)
+
+func epyc(t *testing.T) device.Spec {
+	t.Helper()
+	s, ok := device.ByName("AMD-EPYC-24")
+	if !ok {
+		t.Fatal("missing testbed")
+	}
+	return s
+}
+
+func TestRulesPicksAvailableFormats(t *testing.T) {
+	for _, spec := range device.Testbeds() {
+		for _, fv := range dataset.Small.Sample(50, 3) {
+			name := Rules(spec, fv)
+			found := false
+			for _, f := range spec.Formats {
+				if f == name {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: rules picked %q, not offered by the device", spec.Name, name)
+			}
+		}
+	}
+}
+
+func TestRulesEncodeTakeaways(t *testing.T) {
+	s := epyc(t)
+	skewed := dataset.Point(128, 20, 10000, 0.5, 0.5, 0.3)
+	if got := Rules(s, skewed); got != "Merge-CSR" {
+		t.Errorf("skewed pick = %q, want Merge-CSR (item-granular first)", got)
+	}
+	clustered := dataset.Point(512, 50, 0, 0.9, 1.9, 0.3)
+	if got := Rules(s, clustered); got != "SparseX" {
+		t.Errorf("large clustered pick = %q, want SparseX", got)
+	}
+	longRows := dataset.Point(64, 100, 0, 0.5, 1.0, 0.3)
+	if got := Rules(s, longRows); got != "SELL-C-s" {
+		t.Errorf("long balanced rows pick = %q, want SELL-C-s", got)
+	}
+}
+
+func TestRulesRetainPerformance(t *testing.T) {
+	s := epyc(t)
+	points := dataset.Medium.Sample(600, 5)
+	ev := Evaluate(s, points, func(fv core.FeatureVector) string { return Rules(s, fv) })
+	if ev.N < 500 {
+		t.Fatalf("evaluated only %d points", ev.N)
+	}
+	if ev.Retained < 0.80 {
+		t.Errorf("rules retain %.1f%% of best performance, want >= 80%%", ev.Retained*100)
+	}
+}
+
+func TestNearestBeatsRules(t *testing.T) {
+	s := epyc(t)
+	train := dataset.Medium.Sample(1500, 7)
+	test := dataset.Medium.Sample(400, 11)
+	knn := Train(s, train, 5)
+	if knn.Len() == 0 {
+		t.Fatal("empty training set")
+	}
+	evKNN := Evaluate(s, test, func(fv core.FeatureVector) string {
+		name, _ := knn.Predict(fv)
+		return name
+	})
+	evRules := Evaluate(s, test, func(fv core.FeatureVector) string { return Rules(s, fv) })
+	if evKNN.Retained < evRules.Retained-0.02 {
+		t.Errorf("k-NN retains %.3f, rules %.3f; k-NN should be at least comparable",
+			evKNN.Retained, evRules.Retained)
+	}
+	if evKNN.Retained < 0.90 {
+		t.Errorf("k-NN retains %.1f%%, want >= 90%% (competitive with the literature)",
+			evKNN.Retained*100)
+	}
+	if evKNN.RetainedP10 <= 0 {
+		t.Error("10th percentile retained should be positive")
+	}
+}
+
+func TestNearestEmptyAndTies(t *testing.T) {
+	empty := TrainSamples(nil, 3)
+	if _, ok := empty.Predict(core.FeatureVector{}); ok {
+		t.Error("empty selector should report not-ok")
+	}
+	tied := TrainSamples([]Sample{
+		{core.FeatureVector{MemFootprintMB: 1}, "B"},
+		{core.FeatureVector{MemFootprintMB: 2}, "A"},
+	}, 2)
+	name, ok := tied.Predict(core.FeatureVector{MemFootprintMB: 1.5})
+	if !ok || name != "A" {
+		t.Errorf("tie should break lexicographically: got %q", name)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	s := epyc(t)
+	ev := Evaluate(s, nil, func(core.FeatureVector) string { return "Naive-CSR" })
+	if ev.N != 0 || ev.Retained != 0 {
+		t.Errorf("empty evaluation should be zero: %+v", ev)
+	}
+}

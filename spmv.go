@@ -1,0 +1,104 @@
+// Package spmv is the public facade of this repository: a feature-based
+// SpMV performance-analysis toolkit reproducing Mpakos et al., "Feature-
+// based SpMV Performance Analysis on Contemporary Devices" (IPDPS 2023).
+//
+// It re-exports the stable surface of the internal packages:
+//
+//   - sparse matrices (CSR/COO, MatrixMarket I/O) and the five-feature
+//     extraction of Section III-A;
+//   - the artificial matrix generator of Section III-B;
+//   - fourteen storage formats with serial and parallel SpMV kernels;
+//   - analytical models of the paper's nine testbeds, plus a native engine
+//     measuring real kernels on the host CPU;
+//   - the experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	m, err := spmv.Generate(spmv.GeneratorParams{
+//		Rows: 100000, Cols: 100000,
+//		AvgNNZPerRow: 20, StdNNZPerRow: 6,
+//		SkewCoeff: 10, BWScaled: 0.3,
+//		CrossRowSim: 0.5, AvgNumNeigh: 1.0, Seed: 42,
+//	})
+//	fv := spmv.Extract(m)
+//	for _, b := range spmv.Formats() {
+//		f, err := b.Build(m)
+//		...
+//	}
+package spmv
+
+import (
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/formats"
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+// Core matrix types.
+type (
+	// Matrix is a sparse matrix in CSR form, the substrate every format
+	// builds from.
+	Matrix = matrix.CSR
+	// Triplets is a sparse matrix in coordinate form.
+	Triplets = matrix.COO
+	// Features is a point in the paper's five-feature space.
+	Features = core.FeatureVector
+	// GeneratorParams configures the artificial matrix generator
+	// (Listing 1 of the paper).
+	GeneratorParams = gen.Params
+	// Format is a built storage format with SpMV kernels.
+	Format = formats.Format
+	// FormatBuilder constructs a Format from a CSR matrix.
+	FormatBuilder = formats.Builder
+	// Device describes one of the paper's nine testbeds.
+	Device = device.Spec
+	// Prediction is a device-model performance/power estimate.
+	Prediction = device.Result
+	// Experiment regenerates one of the paper's tables or figures.
+	Experiment = bench.Experiment
+	// ExperimentOptions configures an experiment run.
+	ExperimentOptions = bench.Options
+	// Report is a rendered experiment result table.
+	Report = bench.Report
+)
+
+// Extract measures the feature vector of a matrix.
+func Extract(m *Matrix) Features { return core.Extract(m) }
+
+// Generate builds an artificial matrix matching the requested features.
+func Generate(p GeneratorParams) (*Matrix, error) { return gen.Generate(p) }
+
+// GenerateFromFeatures derives generator parameters from a feature-space
+// point and builds the matrix.
+func GenerateFromFeatures(fv Features, seed int64) (*Matrix, error) {
+	return gen.Generate(gen.FromFeatures(fv, seed))
+}
+
+// Formats returns every storage format builder, state-of-practice first.
+func Formats() []FormatBuilder { return formats.Registry() }
+
+// FormatByName finds a format builder.
+func FormatByName(name string) (FormatBuilder, bool) { return formats.Lookup(name) }
+
+// Devices returns the paper's nine testbeds (Table II).
+func Devices() []Device { return device.Testbeds() }
+
+// DeviceByName finds a testbed.
+func DeviceByName(name string) (Device, bool) { return device.ByName(name) }
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return matrix.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket writes a matrix as MatrixMarket coordinate real general.
+func WriteMatrixMarket(w io.Writer, m *Matrix) error { return matrix.WriteMatrixMarket(w, m) }
+
+// Experiments lists every table/figure runner in paper order.
+func Experiments() []Experiment { return bench.Experiments() }
+
+// ExperimentByID finds an experiment runner ("fig3", "table4", ...).
+func ExperimentByID(id string) (Experiment, bool) { return bench.ByID(id) }
