@@ -14,9 +14,15 @@
 //	-devices a,b,c                restrict to these testbeds
 //	-seed N                       sampling/generator seed
 //	-csv DIR                      also write one CSV per report into DIR
+//	-json FILE                    also write all reports as JSON into FILE
+//
+// The JSON output is the machine-readable perf trajectory: for example,
+// `spmv-bench -sample 8 -json BENCH_spmv.json native` records the native
+// per-format GFLOPS quartiles measured on this host.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +40,7 @@ func main() {
 		devices = flag.String("devices", "", "comma-separated testbed names (default: all)")
 		seed    = flag.Int64("seed", 1, "sampling and generator seed")
 		csvDir  = flag.String("csv", "", "directory to also write CSV reports into")
+		jsonOut = flag.String("json", "", "file to also write all reports into as JSON")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -72,6 +79,7 @@ func main() {
 		ids = bench.IDs()
 	}
 
+	var collected []*bench.Report
 	for _, id := range ids {
 		e, ok := bench.ByID(id)
 		if !ok {
@@ -86,8 +94,27 @@ func main() {
 					fatalf("csv %s: %v", id, err)
 				}
 			}
+			collected = append(collected, r)
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, collected); err != nil {
+			fatalf("json: %v", err)
+		}
+	}
+}
+
+// writeJSON dumps the reports as an indented JSON array so external tools
+// (and future PRs) can track the perf trajectory without table scraping.
+func writeJSON(path string, reports []*bench.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
 }
 
 func writeCSV(dir, id string, i int, r *bench.Report) error {

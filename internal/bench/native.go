@@ -49,7 +49,7 @@ func RunNative(o Options) []*Report {
 		r.AddRow(f, fmtPct(wins[f]), fmt.Sprintf("%d", s.N),
 			fmtG(s.Q1), fmtG(s.Median), fmtG(s.Q3), fmtG(s.Max))
 	}
-	r.AddNote("measured wall-clock GFLOPS with %d workers; absolute values depend on this host", engine.Workers)
+	r.AddNote("measured wall-clock GFLOPS with up to %d workers; absolute values depend on this host", engine.EffectiveWorkers())
 	return []*Report{r}
 }
 

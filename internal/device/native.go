@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/formats"
 	"repro/internal/matrix"
 )
@@ -28,13 +29,25 @@ type NativeEngine struct {
 	MinSeconds float64
 }
 
-// Run measures one format on one matrix. The first product is verified
-// against the CSR reference before timing.
-func (e NativeEngine) Run(m *matrix.CSR, builder formats.Builder) NativeResult {
+// EffectiveWorkers resolves the worker count the engine's kernels can
+// actually use: the configured count, defaulted to GOMAXPROCS and capped
+// by the execution engine. Per-matrix grain shrinking may lower it further
+// for small inputs.
+func (e NativeEngine) EffectiveWorkers() int {
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if mx := exec.MaxWorkers(); workers > mx {
+		workers = mx
+	}
+	return workers
+}
+
+// Run measures one format on one matrix. The first product is verified
+// against the CSR reference before timing.
+func (e NativeEngine) Run(m *matrix.CSR, builder formats.Builder) NativeResult {
+	workers := e.EffectiveWorkers()
 	iters := e.Iterations
 	if iters <= 0 {
 		iters = 16
@@ -48,7 +61,8 @@ func (e NativeEngine) Run(m *matrix.CSR, builder formats.Builder) NativeResult {
 	x := matrix.RandomVector(m.Cols, 12345)
 	y := make([]float64, m.Rows)
 
-	f.SpMVParallel(x, y, workers) // warm-up and page-in
+	exec.Prestart()               // timed iterations must not pay pool startup
+	f.SpMVParallel(x, y, workers) // warm-up, page-in, plan-cache fill
 
 	start := time.Now()
 	done := 0

@@ -1,0 +1,32 @@
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkDispatch compares the persistent pool's wake path against the
+// seed-era spawn-per-call path at the dispatch layer itself (no kernel
+// work), isolating the per-SpMV scheduling overhead the engine removes.
+func BenchmarkDispatch(b *testing.B) {
+	var sink int64
+	body := func(w int) { atomic.AddInt64(&sink, 1) }
+	for _, n := range []int{2, 4, 8} {
+		p := NewPool(n)
+		p.Prestart()
+		b.Run(fmt.Sprintf("pool-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Run(n, body)
+			}
+		})
+		b.Run(fmt.Sprintf("spawn-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				spawnRun(n, body)
+			}
+		})
+		p.Close()
+	}
+}

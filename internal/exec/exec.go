@@ -1,0 +1,239 @@
+// Package exec is the persistent SpMV execution engine: a lazily-started,
+// process-wide pool of parked worker goroutines that format kernels dispatch
+// onto, plus inspector-style execution plans that cache each format's
+// partition (and per-worker scratch buffers) keyed by worker count.
+//
+// The seed implementation paid a goroutine-spawn + sync.WaitGroup round
+// trip and recomputed its sched partition on every SpMV call. For the
+// iterative workloads this repository targets (CG solves, benchmark loops,
+// persistent serving), that per-call overhead dwarfs the kernel itself on
+// small and medium matrices. The engine follows the inspector-executor
+// discipline of MKL-IE, SELL-C-sigma and merge-based SpMV: analyze once,
+// execute many times.
+//
+// Three mechanisms deliver steady-state calls with zero scheduling work and
+// at most one allocation (the kernel closure):
+//
+//   - Pool: worker goroutines park on per-worker wake channels and are
+//     reused across calls. Waking a parked worker is a channel send, an
+//     order of magnitude cheaper than spawning, and produces no garbage.
+//     The caller participates as worker 0, so Run(n, f) wakes only n-1
+//     workers. If the pool is busy (concurrent or nested Run), the call
+//     falls back to plain spawned goroutines rather than queueing, so the
+//     engine never deadlocks and concurrent callers keep the seed behavior.
+//   - Plan/PlanCache: a format computes its sched.Range partition (and any
+//     carry/scratch buffers) once per worker count and caches it inside the
+//     format instance. Matrices are immutable after build, so plans never
+//     invalidate.
+//   - Workers: a serial fast-path cutoff. Parallelism below MinGrain work
+//     items per worker costs more in wake latency than it saves, and worker
+//     counts beyond the machine's parallelism only add overhead, so tiny
+//     kernels run inline on the caller.
+//
+// Future work (see ROADMAP.md): NUMA-aware sharded pools, where each shard
+// pins its workers and partitions are computed per NUMA domain.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MinGrain is the minimum number of work items (nonzeros, padded slots)
+// per worker below which the engine shrinks the worker count: waking a
+// worker costs on the order of a microsecond, which a sub-4k-item shard
+// cannot amortize.
+const MinGrain = 4096
+
+// maxWorkers caps the worker count kernels actually use; 0 means
+// runtime.GOMAXPROCS(0). Tests raise it to exercise parallel paths on
+// small machines.
+var maxWorkers atomic.Int64
+
+// MaxWorkers returns the current worker-count cap.
+func MaxWorkers() int {
+	if n := maxWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetMaxWorkers overrides the worker-count cap; n <= 0 restores the
+// GOMAXPROCS default. It returns the previous override (0 if none), so
+// tests can restore it.
+func SetMaxWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// Workers returns the worker count the engine uses for a kernel over the
+// given number of work items when the caller requested `requested` workers:
+// at most MaxWorkers, at most one worker per MinGrain work items, and at
+// least 1. A return of 1 is the serial fast path — kernels run inline
+// without touching the pool.
+func Workers(work int64, requested int) int {
+	if mx := MaxWorkers(); requested > mx {
+		requested = mx
+	}
+	if g := work / MinGrain; int64(requested) > g {
+		requested = int(g)
+	}
+	if requested < 1 {
+		return 1
+	}
+	return requested
+}
+
+// Pool is a persistent worker pool. The zero value is valid: workers start
+// lazily on the first parallel Run. A Pool must not be copied after use.
+type Pool struct {
+	mu      sync.Mutex // held for the duration of one Run
+	started bool
+	size    int // parked workers; excludes the caller
+	work    func(w int)
+	wake    []chan int    // wake[i] carries the shard id worker i runs
+	done    chan struct{} // one token per completed shard
+}
+
+// NewPool returns a pool with the given number of parked workers (the
+// caller of Run always participates, so a size-N pool executes N+1 shards
+// concurrently). size <= 0 selects the default sizing.
+func NewPool(size int) *Pool {
+	return &Pool{size: size}
+}
+
+// defaultPoolSize keeps enough parked workers for the machine, with a
+// floor so tests exercising parallel carry logic get real goroutine
+// interleaving even on single-core machines. Parked workers cost only
+// their (small) stacks.
+func defaultPoolSize() int {
+	if n := runtime.GOMAXPROCS(0) - 1; n > 7 {
+		return n
+	}
+	return 7
+}
+
+func (p *Pool) ensureStarted() {
+	if p.started {
+		return
+	}
+	if p.size <= 0 {
+		p.size = defaultPoolSize()
+	}
+	p.wake = make([]chan int, p.size)
+	p.done = make(chan struct{}, p.size)
+	for i := range p.wake {
+		p.wake[i] = make(chan int, 1)
+		go p.worker(p.wake[i])
+	}
+	p.started = true
+}
+
+// worker parks on its wake channel; each received shard id is one unit of
+// work. The channel is captured at spawn so a later Close (which nils the
+// pool's slices) cannot race with a worker that has not yet been scheduled.
+func (p *Pool) worker(wake <-chan int) {
+	for id := range wake {
+		p.work(id)
+		p.done <- struct{}{}
+	}
+}
+
+// Run invokes f(0..n-1) and waits for completion. Shard 0 runs on the
+// calling goroutine; shards beyond the pool size run inline after it. If
+// the pool is busy — another Run is in flight, possibly from this very
+// goroutine — the call falls back to spawned goroutines, so Run is safe to
+// call concurrently and never deadlocks on nesting.
+func (p *Pool) Run(n int, f func(w int)) {
+	if n <= 1 {
+		f(0)
+		return
+	}
+	if !p.mu.TryLock() {
+		spawnRun(n, f)
+		return
+	}
+	extra := 0
+	defer func() {
+		// Draining in a defer keeps the pool consistent even when a shard
+		// run on the calling goroutine panics: every woken worker's done
+		// token is consumed before the pool unlocks, so stale tokens can
+		// never satisfy a later Run's wait.
+		for i := 0; i < extra; i++ {
+			<-p.done
+		}
+		p.work = nil
+		p.mu.Unlock()
+	}()
+	p.ensureStarted()
+	if extra = n - 1; extra > p.size {
+		extra = p.size
+	}
+	p.work = f
+	for i := 0; i < extra; i++ {
+		p.wake[i] <- i + 1
+	}
+	f(0)
+	for w := extra + 1; w < n; w++ {
+		f(w)
+	}
+}
+
+// Prestart spins up the parked workers without running work, so the first
+// timed kernel call does not pay pool construction.
+func (p *Pool) Prestart() {
+	p.mu.Lock()
+	p.ensureStarted()
+	p.mu.Unlock()
+}
+
+// Size returns the number of parked workers (0 until started).
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started {
+		return 0
+	}
+	return p.size
+}
+
+// Close terminates the parked workers. Run must not be called after Close;
+// it exists so tests and short-lived tools can release goroutines.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started {
+		return
+	}
+	for _, c := range p.wake {
+		close(c)
+	}
+	p.started = false
+	p.wake = nil
+}
+
+// defaultPool is the process-wide pool all format kernels share.
+var defaultPool Pool
+
+// Run executes f(0..n-1) on the process-wide pool and waits.
+func Run(n int, f func(w int)) { defaultPool.Run(n, f) }
+
+// Prestart spins up the process-wide pool.
+func Prestart() { defaultPool.Prestart() }
+
+// spawnRun is the seed-era fallback: one fresh goroutine per shard.
+func spawnRun(n int, f func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	for w := 1; w < n; w++ {
+		go func(w int) {
+			defer wg.Done()
+			f(w)
+		}(w)
+	}
+	f(0)
+	wg.Wait()
+}

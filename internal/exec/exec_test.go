@@ -1,0 +1,209 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestPoolRunsEveryShardOnce(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	for _, n := range []int{1, 2, 3, 4, 7, 16} {
+		counts := make([]int32, n)
+		p.Run(n, func(w int) {
+			atomic.AddInt32(&counts[w], 1)
+		})
+		for w, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: shard %d ran %d times", n, w, c)
+			}
+		}
+	}
+}
+
+func TestPoolReuseAcrossManyRuns(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var total int64
+	for i := 0; i < 500; i++ {
+		p.Run(3, func(w int) { atomic.AddInt64(&total, int64(w)) })
+	}
+	if total != 500*3 {
+		t.Fatalf("total %d, want %d", total, 500*3)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("pool size %d, want 2", p.Size())
+	}
+}
+
+func TestPoolNestedRunFallsBackToSpawn(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var inner int32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(2, func(w int) {
+			// Nested Run from inside a worker must not deadlock: the pool
+			// mutex is held, so this takes the spawn fallback.
+			p.Run(2, func(int) { atomic.AddInt32(&inner, 1) })
+		})
+	}()
+	<-done
+	if inner != 4 {
+		t.Fatalf("inner shards ran %d times, want 4", inner)
+	}
+}
+
+func TestPoolRecoversFromCallerShardPanic(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the shard panic to propagate")
+			}
+		}()
+		p.Run(3, func(w int) {
+			if w == 0 {
+				panic("shard 0 boom")
+			}
+		})
+	}()
+	// The pool must be fully drained: no stale done tokens may satisfy a
+	// later Run's wait before its own workers finish.
+	for i := 0; i < 50; i++ {
+		counts := make([]int32, 3)
+		p.Run(3, func(w int) { atomic.AddInt32(&counts[w], 1) })
+		for w, c := range counts {
+			if c != 1 {
+				t.Fatalf("post-panic run %d: shard %d ran %d times", i, w, c)
+			}
+		}
+	}
+}
+
+func TestPoolConcurrentCallers(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.Run(3, func(int) { atomic.AddInt64(&total, 1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if total != 8*100*3 {
+		t.Fatalf("total %d, want %d", total, 8*100*3)
+	}
+}
+
+func TestPoolRunZeroAllocsWarm(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var sink int64
+	f := func(w int) { atomic.AddInt64(&sink, int64(w)) }
+	p.Run(4, f) // warm up: start workers
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Run(4, f)
+	})
+	if allocs > 0 {
+		t.Errorf("warm Run allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestDefaultPoolRun(t *testing.T) {
+	Prestart()
+	var total int64
+	Run(4, func(w int) { atomic.AddInt64(&total, int64(w)+1) })
+	if total != 1+2+3+4 {
+		t.Fatalf("total %d", total)
+	}
+}
+
+func TestWorkersClamps(t *testing.T) {
+	prev := SetMaxWorkers(8)
+	defer SetMaxWorkers(prev)
+
+	if got := Workers(100*MinGrain, 4); got != 4 {
+		t.Errorf("ample work: got %d, want 4", got)
+	}
+	if got := Workers(100*MinGrain, 99); got != 8 {
+		t.Errorf("MaxWorkers cap: got %d, want 8", got)
+	}
+	if got := Workers(2*MinGrain, 8); got != 2 {
+		t.Errorf("grain cap: got %d, want 2", got)
+	}
+	if got := Workers(MinGrain-1, 8); got != 1 {
+		t.Errorf("tiny work: got %d, want 1 (serial fast path)", got)
+	}
+	if got := Workers(100*MinGrain, 0); got != 1 {
+		t.Errorf("requested 0: got %d, want 1", got)
+	}
+	if got := Workers(0, 5); got != 1 {
+		t.Errorf("zero work: got %d, want 1", got)
+	}
+}
+
+func TestSetMaxWorkersRestore(t *testing.T) {
+	prev := SetMaxWorkers(3)
+	if MaxWorkers() != 3 {
+		t.Fatalf("override not applied")
+	}
+	SetMaxWorkers(prev)
+	if MaxWorkers() != runtime.GOMAXPROCS(0) && prev == 0 {
+		t.Fatalf("restore failed")
+	}
+}
+
+func TestPlanCacheBuildsOncePerWorkerCount(t *testing.T) {
+	c := NewPlanCache()
+	var builds int32
+	build := func(p int) *Plan {
+		atomic.AddInt32(&builds, 1)
+		return &Plan{Ranges: make([]sched.Range, p)}
+	}
+	var wg sync.WaitGroup
+	plans := make([]*Plan, 16)
+	for g := range plans {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			plans[g] = c.Get(4, build)
+		}(g)
+	}
+	wg.Wait()
+	for _, pl := range plans[1:] {
+		if pl != plans[0] {
+			t.Fatal("concurrent Get returned different plans")
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	c.Get(8, build)
+	if builds != 2 || c.Len() != 2 {
+		t.Fatalf("second worker count: builds=%d len=%d", builds, c.Len())
+	}
+}
+
+func TestPlanCacheWarmGetZeroAllocs(t *testing.T) {
+	c := NewPlanCache()
+	build := func(p int) *Plan { return &Plan{} }
+	c.Get(4, build)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Get(4, build)
+	})
+	if allocs > 0 {
+		t.Errorf("warm Get allocates %v times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,82 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// Plan is the cached output of a format's inspector step for one worker
+// count: the row/nonzero partition and any per-worker scratch (merge-path
+// carries, CSR5 segment bases, VSL partial vectors). Building a plan costs
+// one partition computation; executing it costs nothing.
+//
+// Scratch buffers are shared by every call that uses the plan, so kernels
+// that write scratch must hold the plan lock for the duration of the call —
+// in practice via TryLock, building a private throwaway scratch when
+// another call already holds it, so concurrent invocations with distinct
+// output vectors keep full throughput (the seed behavior) and only pay the
+// allocation when actual contention exists. Kernels without scratch (pure
+// row-range partitions) skip the lock entirely.
+type Plan struct {
+	// Ranges is the cached partition; one entry per worker.
+	Ranges []sched.Range
+	// Scratch holds format-specific per-worker buffers.
+	Scratch any
+
+	mu sync.Mutex
+}
+
+// TryLock claims the plan's scratch without blocking; a false return means
+// another call is mid-flight and the caller should use private scratch.
+func (p *Plan) TryLock() bool { return p.mu.TryLock() }
+
+// Unlock releases the scratch lock.
+func (p *Plan) Unlock() { p.mu.Unlock() }
+
+// PlanCache memoizes Plans by worker count inside a format instance. It is
+// a single-pointer handle so formats can embed it by value; create it with
+// NewPlanCache in the format constructor. Copies of the handle share the
+// underlying store, which is what embedded-format copies made during
+// construction want; a constructor deriving from an already-used format
+// instance would need a fresh cache, since plans encode the partition
+// policy of the format that built them.
+type PlanCache struct {
+	s *planStore
+}
+
+type planStore struct {
+	mu    sync.RWMutex
+	plans map[int]*Plan
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() PlanCache {
+	return PlanCache{s: &planStore{plans: make(map[int]*Plan)}}
+}
+
+// Get returns the plan for the worker count, building and caching it on
+// first use. The warm path is a read-locked map probe: no allocation, no
+// partition work.
+func (c PlanCache) Get(workers int, build func(workers int) *Plan) *Plan {
+	c.s.mu.RLock()
+	pl := c.s.plans[workers]
+	c.s.mu.RUnlock()
+	if pl != nil {
+		return pl
+	}
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if pl = c.s.plans[workers]; pl == nil {
+		pl = build(workers)
+		c.s.plans[workers] = pl
+	}
+	return pl
+}
+
+// Len reports how many worker counts have cached plans.
+func (c PlanCache) Len() int {
+	c.s.mu.RLock()
+	defer c.s.mu.RUnlock()
+	return len(c.s.plans)
+}

@@ -3,6 +3,7 @@ package formats
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/matrix"
 	"repro/internal/sched"
 )
@@ -20,6 +21,7 @@ type BCSR struct {
 	rowPtr     []int32   // per block row, into blkCol
 	blkCol     []int32   // block-column index per block
 	val        []float64 // br*bc per block
+	plans      exec.PlanCache
 }
 
 // MaxBCSRFillRatio bounds the zero fill: construction fails when the blocked
@@ -32,7 +34,10 @@ func NewBCSR(m *matrix.CSR, br, bc int) (*BCSR, error) {
 		return nil, fmt.Errorf("%w BCSR: block %dx%d", ErrBuild, br, bc)
 	}
 	blockRows := (m.Rows + br - 1) / br
-	f := &BCSR{rows: m.Rows, cols: m.Cols, br: br, bc: bc, nnz: int64(m.NNZ()), blockRows: blockRows}
+	f := &BCSR{
+		rows: m.Rows, cols: m.Cols, br: br, bc: bc, nnz: int64(m.NNZ()), blockRows: blockRows,
+		plans: exec.NewPlanCache(),
+	}
 	f.rowPtr = make([]int32, blockRows+1)
 
 	// Two passes: count distinct block columns per block row, then fill.
@@ -140,22 +145,51 @@ func (f *BCSR) Traits() Traits {
 		Vectorizable: true, Preprocessed: true}
 }
 
+// maxStackBlockRows bounds the block heights served by the stack-resident
+// row accumulators; taller blocks fall back to a heap buffer.
+const maxStackBlockRows = 16
+
 func (f *BCSR) blockRowRange(x, y []float64, lo, hi int) {
+	if f.br == 2 && f.bc == 2 {
+		f.blockRowRange2x2(x, y, lo, hi)
+		return
+	}
 	br, bc := f.br, f.bc
-	sums := make([]float64, br)
+	var sumsBuf [maxStackBlockRows]float64
+	var sums []float64
+	if br <= maxStackBlockRows {
+		sums = sumsBuf[:br]
+	} else {
+		sums = make([]float64, br)
+	}
+	rowPtr, blkCol, val := f.rowPtr, f.blkCol, f.val
+	blk := br * bc
 	for bi := lo; bi < hi; bi++ {
 		for r := range sums {
 			sums[r] = 0
 		}
-		for b := f.rowPtr[bi]; b < f.rowPtr[bi+1]; b++ {
-			baseCol := int(f.blkCol[b]) * bc
-			slab := f.val[int(b)*br*bc : (int(b)+1)*br*bc]
+		for b := int(rowPtr[bi]); b < int(rowPtr[bi+1]); b++ {
+			baseCol := int(blkCol[b]) * bc
+			off := b * blk
+			if baseCol+bc <= f.cols {
+				// Interior block: the whole x window is in range, no
+				// per-element edge check.
+				for r := 0; r < br; r++ {
+					s := 0.0
+					ro := off + r*bc
+					for c := 0; c < bc; c++ {
+						s += val[ro+c] * x[baseCol+c]
+					}
+					sums[r] += s
+				}
+				continue
+			}
 			for r := 0; r < br; r++ {
 				s := 0.0
 				for c := 0; c < bc; c++ {
 					col := baseCol + c
 					if col < f.cols {
-						s += slab[r*bc+c] * x[col]
+						s += val[off+r*bc+c] * x[col]
 					}
 				}
 				sums[r] += s
@@ -170,6 +204,37 @@ func (f *BCSR) blockRowRange(x, y []float64, lo, hi int) {
 	}
 }
 
+// blockRowRange2x2 is the register-blocked micro-kernel for the default
+// 2x2 geometry: both row sums live in registers, both x values load once
+// per block, and only the matrix-edge block pays a column check.
+func (f *BCSR) blockRowRange2x2(x, y []float64, lo, hi int) {
+	rowPtr, blkCol, val := f.rowPtr, f.blkCol, f.val
+	cols := f.cols
+	for bi := lo; bi < hi; bi++ {
+		var s0, s1 float64
+		for b := int(rowPtr[bi]); b < int(rowPtr[bi+1]); b++ {
+			baseCol := int(blkCol[b]) * 2
+			off := b * 4
+			if baseCol+2 <= cols {
+				x0, x1 := x[baseCol], x[baseCol+1]
+				s0 += val[off]*x0 + val[off+1]*x1
+				s1 += val[off+2]*x0 + val[off+3]*x1
+			} else {
+				x0 := x[baseCol]
+				s0 += val[off] * x0
+				s1 += val[off+2] * x0
+			}
+		}
+		row := bi * 2
+		if row < f.rows {
+			y[row] = s0
+		}
+		if row+1 < f.rows {
+			y[row+1] = s1
+		}
+	}
+}
+
 // SpMV implements Format.
 func (f *BCSR) SpMV(x, y []float64) {
 	checkShape("BCSR", f.rows, f.cols, x, y)
@@ -179,8 +244,16 @@ func (f *BCSR) SpMV(x, y []float64) {
 // SpMVParallel implements Format over nnz-balanced block rows.
 func (f *BCSR) SpMVParallel(x, y []float64, workers int) {
 	checkShape("BCSR", f.rows, f.cols, x, y)
-	ranges := sched.NNZBalanced(f.rowPtr, workers)
-	runWorkers(len(ranges), func(w int) {
+	workers = exec.Workers(f.nnz+int64(f.blockRows), workers)
+	if workers <= 1 {
+		f.blockRowRange(x, y, 0, f.blockRows)
+		return
+	}
+	pl := f.plans.Get(workers, func(p int) *exec.Plan {
+		return &exec.Plan{Ranges: sched.NNZBalanced(f.rowPtr, p)}
+	})
+	ranges := pl.Ranges
+	exec.Run(len(ranges), func(w int) {
 		f.blockRowRange(x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }

@@ -1,6 +1,7 @@
 package formats
 
 import (
+	"repro/internal/exec"
 	"repro/internal/matrix"
 )
 
@@ -11,12 +12,23 @@ type COO struct {
 	rowIdx     []int32
 	colIdx     []int32
 	val        []float64
+	plans      exec.PlanCache // SpMVParallel carry slots
+	addPlans   exec.PlanCache // spmvAddParallel carry lists (HYB spill)
+}
+
+// newCOOFromParts wraps pre-built triplet arrays (used by NewCOO and the
+// HYB spill part).
+func newCOOFromParts(rows, cols int, rowIdx, colIdx []int32, val []float64) *COO {
+	return &COO{
+		rows: rows, cols: cols, rowIdx: rowIdx, colIdx: colIdx, val: val,
+		plans: exec.NewPlanCache(), addPlans: exec.NewPlanCache(),
+	}
 }
 
 // NewCOO builds the coordinate format from a CSR matrix.
 func NewCOO(m *matrix.CSR) *COO {
 	o := m.ToCOO()
-	return &COO{rows: m.Rows, cols: m.Cols, rowIdx: o.RowIdx, colIdx: o.ColIdx, val: o.Val}
+	return newCOOFromParts(m.Rows, m.Cols, o.RowIdx, o.ColIdx, o.Val)
 }
 
 // Name implements Format.
@@ -39,13 +51,30 @@ func (f *COO) Traits() Traits {
 	return Traits{Balancing: NNZGranular, MetaBytesPerNNZ: 8}
 }
 
-// SpMV implements Format.
+// SpMV implements Format. Entries are row-sorted, so each row's sum builds
+// in a register and hits y once, instead of a load-add-store per entry.
 func (f *COO) SpMV(x, y []float64) {
 	checkShape("COO", f.rows, f.cols, x, y)
 	zero(y)
-	for k := range f.val {
-		y[f.rowIdx[k]] += f.val[k] * x[f.colIdx[k]]
+	rowIdx, colIdx, val := f.rowIdx, f.colIdx, f.val
+	n := len(val)
+	k := 0
+	for k < n {
+		row := rowIdx[k]
+		sum := 0.0
+		for k < n && rowIdx[k] == row {
+			sum += val[k] * x[colIdx[k]]
+			k++
+		}
+		y[row] = sum
 	}
+}
+
+// cooScratch is the plan-cached boundary-carry state: per worker, the first
+// and last row its chunk touches (-1: none) and their partial sums.
+type cooScratch struct {
+	firstRow, lastRow []int32
+	firstSum, lastSum []float64
 }
 
 // SpMVParallel implements Format. Entries are row-sorted, so each worker
@@ -53,62 +82,77 @@ func (f *COO) SpMV(x, y []float64) {
 // collected in per-worker carry slots and merged serially afterwards.
 func (f *COO) SpMVParallel(x, y []float64, workers int) {
 	checkShape("COO", f.rows, f.cols, x, y)
-	if workers <= 1 || len(f.val) < 2*workers {
+	n := len(f.val)
+	workers = exec.Workers(int64(n)+int64(f.rows), workers)
+	if workers <= 1 || n < 2*workers {
 		f.SpMV(x, y)
 		return
 	}
-	zero(y)
-	n := len(f.val)
-	type carry struct {
-		firstRow, lastRow int32
-		firstSum, lastSum float64
+	pl := f.plans.Get(workers, func(p int) *exec.Plan {
+		return &exec.Plan{Scratch: &cooScratch{
+			firstRow: make([]int32, p), lastRow: make([]int32, p),
+			firstSum: make([]float64, p), lastSum: make([]float64, p),
+		}}
+	})
+	sc := pl.Scratch.(*cooScratch)
+	if pl.TryLock() {
+		defer pl.Unlock()
+	} else {
+		// Another call on this plan is mid-flight: private carry slots keep
+		// concurrent invocations fully parallel.
+		sc = &cooScratch{
+			firstRow: make([]int32, workers), lastRow: make([]int32, workers),
+			firstSum: make([]float64, workers), lastSum: make([]float64, workers),
+		}
 	}
-	carries := make([]carry, workers)
-	runWorkers(workers, func(w int) {
+	zero(y)
+	rowIdx, colIdx, val := f.rowIdx, f.colIdx, f.val
+	exec.Run(workers, func(w int) {
 		lo := n * w / workers
 		hi := n * (w + 1) / workers
+		sc.firstRow[w], sc.lastRow[w] = -1, -1
+		sc.firstSum[w], sc.lastSum[w] = 0, 0
 		if lo >= hi {
-			carries[w] = carry{firstRow: -1, lastRow: -1}
 			return
 		}
-		first := f.rowIdx[lo]
-		last := f.rowIdx[hi-1]
-		c := carry{firstRow: first, lastRow: last}
+		first := rowIdx[lo]
+		last := rowIdx[hi-1]
 		if first == last {
 			// The whole chunk is one row fragment; carry everything.
 			sum := 0.0
 			for k := lo; k < hi; k++ {
-				sum += f.val[k] * x[f.colIdx[k]]
+				sum += val[k] * x[colIdx[k]]
 			}
-			c.firstSum = sum
-			c.lastRow = -1
-			carries[w] = c
+			sc.firstRow[w], sc.firstSum[w] = first, sum
 			return
 		}
 		k := lo
-		for ; f.rowIdx[k] == first; k++ {
-			c.firstSum += f.val[k] * x[f.colIdx[k]]
+		sum := 0.0
+		for ; rowIdx[k] == first; k++ {
+			sum += val[k] * x[colIdx[k]]
 		}
-		for k < hi && f.rowIdx[k] != last {
-			row := f.rowIdx[k]
-			sum := 0.0
-			for k < hi && f.rowIdx[k] == row {
-				sum += f.val[k] * x[f.colIdx[k]]
+		sc.firstRow[w], sc.firstSum[w] = first, sum
+		for k < hi && rowIdx[k] != last {
+			row := rowIdx[k]
+			sum = 0
+			for k < hi && rowIdx[k] == row {
+				sum += val[k] * x[colIdx[k]]
 				k++
 			}
 			y[row] = sum // interior rows are fully owned by this worker
 		}
+		sum = 0
 		for ; k < hi; k++ {
-			c.lastSum += f.val[k] * x[f.colIdx[k]]
+			sum += val[k] * x[colIdx[k]]
 		}
-		carries[w] = c
+		sc.lastRow[w], sc.lastSum[w] = last, sum
 	})
-	for _, c := range carries {
-		if c.firstRow >= 0 {
-			y[c.firstRow] += c.firstSum
+	for w := 0; w < workers; w++ {
+		if r := sc.firstRow[w]; r >= 0 {
+			y[r] += sc.firstSum[w]
 		}
-		if c.lastRow >= 0 {
-			y[c.lastRow] += c.lastSum
+		if r := sc.lastRow[w]; r >= 0 {
+			y[r] += sc.lastSum[w]
 		}
 	}
 }

@@ -3,6 +3,7 @@ package formats
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/matrix"
 )
 
@@ -28,6 +29,7 @@ type CSR5 struct {
 	laneSegBase []int32  // per tile per lane: segment index before the lane's first entry
 	colIdx      []int32  // transposed within each tile
 	val         []float64
+	plans       exec.PlanCache
 }
 
 // CSR5 tile geometry. Omega mirrors a 256-bit SIMD unit (4 doubles); Sigma
@@ -44,7 +46,7 @@ const flagWordsPerTile = (tileN + 63) / 64
 // NewCSR5 builds the CSR5 format.
 func NewCSR5(m *matrix.CSR) (*CSR5, error) {
 	nnz := int64(m.NNZ())
-	f := &CSR5{rows: m.Rows, cols: m.Cols, nnz: nnz}
+	f := &CSR5{rows: m.Rows, cols: m.Cols, nnz: nnz, plans: exec.NewPlanCache()}
 
 	// Enumerate non-empty rows as segments.
 	for i := 0; i < m.Rows; i++ {
@@ -142,10 +144,10 @@ func (f *CSR5) Traits() Traits {
 		Vectorizable: true, Preprocessed: true}
 }
 
-// flagSet reports whether in-tile position k of tile t starts a row.
-func (f *CSR5) flagSet(t, k int) bool {
-	return f.flags[t*flagWordsPerTile+k/64]&(1<<(uint(k)%64)) != 0
-}
+// The kernel below exploits the tile-geometry fact that a tile's row-start
+// flags fit exactly one uint64 word; this declaration fails to compile if
+// Omega*Sigma stops being 64.
+var _ [1]struct{} = [flagWordsPerTile]struct{}{}
 
 // processTiles runs the segmented sum over tiles [tLo, tHi). Contributions
 // to carryRow accumulate into the returned carry instead of y, so parallel
@@ -153,13 +155,18 @@ func (f *CSR5) flagSet(t, k int) bool {
 // segments below minSeg are dropped: the only such flush is the zero-sum
 // flush a lane emits when it begins exactly at a row start, and dropping it
 // keeps workers from touching rows owned by their predecessor.
+//
+// Each lane extracts its Sigma flag bits from the tile's flag word once;
+// lanes with no row start (the common case away from row boundaries) take a
+// branch-free accumulate path over the bounds-check-free tile slab.
 func (f *CSR5) processTiles(x, y []float64, tLo, tHi int, carryRow int32, minSeg int32) float64 {
 	carry := 0.0
+	segRow := f.segRow
 	flush := func(seg int32, sum float64) {
 		if seg < minSeg {
 			return
 		}
-		row := f.segRow[seg]
+		row := segRow[seg]
 		if row == carryRow {
 			carry += sum
 		} else {
@@ -167,19 +174,30 @@ func (f *CSR5) processTiles(x, y []float64, tLo, tHi int, carryRow int32, minSeg
 		}
 	}
 	for t := tLo; t < tHi; t++ {
-		base := int64(t) * tileN
+		base := t * tileN
+		fw := f.flags[t]
+		cs := f.colIdx[base : base+tileN : base+tileN]
+		vs := f.val[base : base+tileN : base+tileN]
+		vs = vs[:len(cs)]
 		for c := 0; c < Omega; c++ {
 			seg := f.laneSegBase[t*Omega+c]
+			bits := uint16(fw >> (uint(c) * Sigma))
 			sum := 0.0
-			for r := 0; r < Sigma; r++ {
-				k := c*Sigma + r
-				if f.flagSet(t, k) {
-					flush(seg, sum)
-					seg++
-					sum = 0
+			if bits == 0 {
+				for r := 0; r < Sigma; r++ {
+					at := r*Omega + c
+					sum += vs[at] * x[cs[at]]
 				}
-				at := base + int64(r*Omega+c)
-				sum += f.val[at] * x[f.colIdx[at]]
+			} else {
+				for r := 0; r < Sigma; r++ {
+					if bits&(1<<uint(r)) != 0 {
+						flush(seg, sum)
+						seg++
+						sum = 0
+					}
+					at := r*Omega + c
+					sum += vs[at] * x[cs[at]]
+				}
 			}
 			flush(seg, sum)
 		}
@@ -194,13 +212,22 @@ func (f *CSR5) SpMV(x, y []float64) {
 	f.processTiles(x, y, 0, f.tiles, -1, 0)
 }
 
+// csr5Scratch is the plan-cached executor state: per-worker tile bounds,
+// the boundary segment each worker must not touch directly, and the carry
+// accumulator slots.
+type csr5Scratch struct {
+	tLo, tHi []int
+	carryRow []int32
+	minSeg   []int32
+	carry    []float64
+}
+
 // SpMVParallel implements Format: contiguous tile ranges per worker, with
-// the first row of each range carried past the boundary.
+// the first row of each range carried past the boundary. The tile split and
+// boundary-segment searches run once per worker count and are cached.
 func (f *CSR5) SpMVParallel(x, y []float64, workers int) {
 	checkShape("CSR5", f.rows, f.cols, x, y)
-	if workers < 1 {
-		workers = 1
-	}
+	workers = exec.Workers(f.nnz, workers)
 	if workers > f.tiles {
 		workers = f.tiles
 	}
@@ -208,29 +235,39 @@ func (f *CSR5) SpMVParallel(x, y []float64, workers int) {
 		f.SpMV(x, y)
 		return
 	}
-	zero(y)
-	type carry struct {
-		row int32
-		sum float64
-	}
-	carries := make([]carry, workers)
-	runWorkers(workers, func(w int) {
-		tLo := f.tiles * w / workers
-		tHi := f.tiles * (w + 1) / workers
-		carryRow := int32(-1)
-		minSeg := int32(0)
-		if w > 0 && tLo < f.tiles {
-			// The row containing the first entry of this range may have
-			// started in the previous range.
-			minSeg = int32(f.segOfEntry(int64(tLo) * tileN))
-			carryRow = f.segRow[minSeg]
+	pl := f.plans.Get(workers, func(p int) *exec.Plan {
+		sc := &csr5Scratch{
+			tLo: make([]int, p), tHi: make([]int, p),
+			carryRow: make([]int32, p), minSeg: make([]int32, p),
+			carry: make([]float64, p),
 		}
-		sum := f.processTiles(x, y, tLo, tHi, carryRow, minSeg)
-		carries[w] = carry{row: carryRow, sum: sum}
+		for w := 0; w < p; w++ {
+			sc.tLo[w] = f.tiles * w / p
+			sc.tHi[w] = f.tiles * (w + 1) / p
+			sc.carryRow[w] = -1
+			if w > 0 && sc.tLo[w] < f.tiles {
+				// The row containing the first entry of this range may have
+				// started in the previous range.
+				sc.minSeg[w] = int32(f.segOfEntry(int64(sc.tLo[w]) * tileN))
+				sc.carryRow[w] = f.segRow[sc.minSeg[w]]
+			}
+		}
+		return &exec.Plan{Scratch: sc}
 	})
-	for _, c := range carries {
-		if c.row >= 0 {
-			y[c.row] += c.sum
+	sc := pl.Scratch.(*csr5Scratch)
+	carry := sc.carry // tile bounds and boundary segments are read-only;
+	if pl.TryLock() { // only the carry accumulators need exclusivity
+		defer pl.Unlock()
+	} else {
+		carry = make([]float64, workers)
+	}
+	zero(y)
+	exec.Run(workers, func(w int) {
+		carry[w] = f.processTiles(x, y, sc.tLo[w], sc.tHi[w], sc.carryRow[w], sc.minSeg[w])
+	})
+	for w := 0; w < workers; w++ {
+		if sc.carryRow[w] >= 0 {
+			y[sc.carryRow[w]] += carry[w]
 		}
 	}
 }

@@ -3,6 +3,7 @@ package formats
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/matrix"
 	"repro/internal/sched"
 )
@@ -16,12 +17,24 @@ type ELL struct {
 	nnz        int64
 	colIdx     []int32   // rows*width, column-major: entry (i, k) at k*rows+i
 	val        []float64 // same layout; padding entries hold value 0, col 0
+	plans      exec.PlanCache
 }
 
 // MaxELLPaddedEntries bounds the dense ELL allocation; construction fails
 // beyond it, mirroring the memory blow-up that makes ELL unusable for
 // heavily skewed matrices.
 const MaxELLPaddedEntries = 1 << 28
+
+// newELLShell allocates an empty ELL slab for the given geometry.
+func newELLShell(rows, cols, width int) *ELL {
+	padded := int64(rows) * int64(width)
+	return &ELL{
+		rows: rows, cols: cols, width: width,
+		colIdx: make([]int32, padded),
+		val:    make([]float64, padded),
+		plans:  exec.NewPlanCache(),
+	}
+}
 
 // NewELL builds the ELL format. It fails when rows*maxRowLen exceeds
 // MaxELLPaddedEntries.
@@ -35,11 +48,8 @@ func NewELL(m *matrix.CSR) (*ELL, error) {
 		return nil, fmt.Errorf("%w ELL: %d rows x width %d = %d padded entries (max %d)",
 			ErrBuild, m.Rows, width, padded, int64(MaxELLPaddedEntries))
 	}
-	f := &ELL{
-		rows: m.Rows, cols: m.Cols, width: width, nnz: int64(m.NNZ()),
-		colIdx: make([]int32, padded),
-		val:    make([]float64, padded),
-	}
+	f := newELLShell(m.Rows, m.Cols, width)
+	f.nnz = int64(m.NNZ())
 	for i := 0; i < m.Rows; i++ {
 		cols, vals := m.Row(i)
 		for k, c := range cols {
@@ -81,14 +91,24 @@ func (f *ELL) Traits() Traits {
 	return Traits{Balancing: RowGranular, PaddingRatio: pad, MetaBytesPerNNZ: meta, Vectorizable: true}
 }
 
+// rowRange walks the slab column by column so every access is sequential —
+// the row-by-row order of the seed kernel strode by `rows` elements and
+// thrashed the cache. Per row the products still accumulate in ascending k
+// order, so results are bit-identical to the row-major walk.
 func (f *ELL) rowRange(x, y []float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		sum := 0.0
-		for k := 0; k < f.width; k++ {
-			at := k*f.rows + i
-			sum += f.val[at] * x[f.colIdx[at]]
+	rows := f.rows
+	yy := y[lo:hi:hi]
+	for j := range yy {
+		yy[j] = 0
+	}
+	for k := 0; k < f.width; k++ {
+		base := k * rows
+		c := f.colIdx[base+lo : base+hi : base+hi]
+		v := f.val[base+lo : base+hi : base+hi]
+		v = v[:len(c)]
+		for j, cj := range c {
+			yy[j] += v[j] * x[cj]
 		}
-		y[i] = sum
 	}
 }
 
@@ -103,20 +123,18 @@ func (f *ELL) SpMV(x, y []float64) {
 // moved into the padding itself).
 func (f *ELL) SpMVParallel(x, y []float64, workers int) {
 	checkShape("ELL", f.rows, f.cols, x, y)
-	ranges := sched.RowBlocks(syntheticRowPtr(f.rows), workers)
-	runWorkers(len(ranges), func(w int) {
+	workers = exec.Workers(int64(len(f.val)), workers)
+	if workers <= 1 {
+		f.rowRange(x, y, 0, f.rows)
+		return
+	}
+	pl := f.plans.Get(workers, func(p int) *exec.Plan {
+		return &exec.Plan{Ranges: sched.EvenRows(f.rows, p)}
+	})
+	ranges := pl.Ranges
+	exec.Run(len(ranges), func(w int) {
 		f.rowRange(x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
-}
-
-// syntheticRowPtr builds a trivial row pointer (one slot per row) for
-// formats that partition by row count alone.
-func syntheticRowPtr(rows int) []int32 {
-	p := make([]int32, rows+1)
-	for i := range p {
-		p[i] = int32(i)
-	}
-	return p
 }
 
 // HYB combines an ELL part holding the first k entries of every row with a
@@ -145,15 +163,10 @@ func NewHYBThreshold(m *matrix.CSR, k int) (*HYB, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("%w HYB: negative threshold %d", ErrBuild, k)
 	}
-	padded := int64(m.Rows) * int64(k)
-	if padded > MaxELLPaddedEntries {
+	if int64(m.Rows)*int64(k) > MaxELLPaddedEntries {
 		return nil, fmt.Errorf("%w HYB: threshold %d over %d rows exceeds padding bound", ErrBuild, k, m.Rows)
 	}
-	ellPart := &ELL{
-		rows: m.Rows, cols: m.Cols, width: k,
-		colIdx: make([]int32, padded),
-		val:    make([]float64, padded),
-	}
+	ellPart := newELLShell(m.Rows, m.Cols, k)
 	spill := matrix.NewCOO(m.Rows, m.Cols, 0)
 	for i := 0; i < m.Rows; i++ {
 		cols, vals := m.Row(i)
@@ -170,7 +183,7 @@ func NewHYBThreshold(m *matrix.CSR, k int) (*HYB, error) {
 	f := &HYB{
 		rows: m.Rows, cols: m.Cols, nnz: int64(m.NNZ()),
 		ell:   ellPart,
-		spill: &COO{rows: m.Rows, cols: m.Cols, rowIdx: spill.RowIdx, colIdx: spill.ColIdx, val: spill.Val},
+		spill: newCOOFromParts(m.Rows, m.Cols, spill.RowIdx, spill.ColIdx, spill.Val),
 	}
 	return f, nil
 }
@@ -214,9 +227,23 @@ func max64(a, b int64) int64 {
 func (f *HYB) SpMV(x, y []float64) {
 	checkShape("HYB", f.rows, f.cols, x, y)
 	f.ell.SpMV(x, y)
-	// Accumulate the spill on top of the ELL result.
-	for k := range f.spill.val {
-		y[f.spill.rowIdx[k]] += f.spill.val[k] * x[f.spill.colIdx[k]]
+	f.spill.spmvAddSerial(x, y)
+}
+
+// spmvAddSerial accumulates the row-sorted COO product onto an existing y,
+// building each row's sum in a register.
+func (f *COO) spmvAddSerial(x, y []float64) {
+	rowIdx, colIdx, val := f.rowIdx, f.colIdx, f.val
+	n := len(val)
+	k := 0
+	for k < n {
+		row := rowIdx[k]
+		sum := 0.0
+		for k < n && rowIdx[k] == row {
+			sum += val[k] * x[colIdx[k]]
+			k++
+		}
+		y[row] += sum
 	}
 }
 
@@ -228,6 +255,18 @@ func (f *HYB) SpMVParallel(x, y []float64, workers int) {
 	f.spill.spmvAddParallel(x, y, workers)
 }
 
+// cooCarry is one deferred row contribution of the spill-add kernel.
+type cooCarry struct {
+	row int32
+	sum float64
+}
+
+// cooAddScratch is the plan-cached carry state of spmvAddParallel: one
+// reusable carry list per worker.
+type cooAddScratch struct {
+	carries [][]cooCarry
+}
+
 // spmvAddParallel accumulates the COO product onto an existing y (used by
 // HYB, which must not zero the ELL part's contribution).
 func (f *COO) spmvAddParallel(x, y []float64, workers int) {
@@ -235,41 +274,47 @@ func (f *COO) spmvAddParallel(x, y []float64, workers int) {
 	if n == 0 {
 		return
 	}
+	workers = exec.Workers(int64(n), workers)
 	if workers <= 1 || n < 2*workers {
-		for k := range f.val {
-			y[f.rowIdx[k]] += f.val[k] * x[f.colIdx[k]]
-		}
+		f.spmvAddSerial(x, y)
 		return
 	}
-	type carry struct {
-		row int32
-		sum float64
+	pl := f.addPlans.Get(workers, func(p int) *exec.Plan {
+		return &exec.Plan{Scratch: &cooAddScratch{carries: make([][]cooCarry, p)}}
+	})
+	sc := pl.Scratch.(*cooAddScratch)
+	if pl.TryLock() {
+		defer pl.Unlock()
+	} else {
+		// Another call on this plan is mid-flight: private carry lists keep
+		// concurrent invocations fully parallel.
+		sc = &cooAddScratch{carries: make([][]cooCarry, workers)}
 	}
-	carries := make([][]carry, workers)
-	runWorkers(workers, func(w int) {
+	rowIdx, colIdx, val := f.rowIdx, f.colIdx, f.val
+	exec.Run(workers, func(w int) {
 		lo := n * w / workers
 		hi := n * (w + 1) / workers
-		var local []carry
+		local := sc.carries[w][:0]
 		k := lo
 		for k < hi {
-			row := f.rowIdx[k]
+			row := rowIdx[k]
 			sum := 0.0
-			for k < hi && f.rowIdx[k] == row {
-				sum += f.val[k] * x[f.colIdx[k]]
+			for k < hi && rowIdx[k] == row {
+				sum += val[k] * x[colIdx[k]]
 				k++
 			}
 			// A row is unsafe if it may be shared with a neighboring chunk.
-			sharedLeft := lo > 0 && f.rowIdx[lo-1] == row
-			sharedRight := k == hi && hi < n && f.rowIdx[hi] == row
+			sharedLeft := lo > 0 && rowIdx[lo-1] == row
+			sharedRight := k == hi && hi < n && rowIdx[hi] == row
 			if sharedLeft || sharedRight {
-				local = append(local, carry{row, sum})
+				local = append(local, cooCarry{row, sum})
 			} else {
 				y[row] += sum
 			}
 		}
-		carries[w] = local
+		sc.carries[w] = local
 	})
-	for _, local := range carries {
+	for _, local := range sc.carries {
 		for _, c := range local {
 			y[c.row] += c.sum
 		}

@@ -1,0 +1,204 @@
+package formats
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+// engineTestMatrices are large enough that exec.Workers keeps multi-worker
+// counts (the small matrices of formats_test.go all take the serial fast
+// path now), and diverse enough to cross every kernel's special cases:
+// skew for the carry logic, a >=vecWideRowMin row for the wide unrolled
+// path, and a banded matrix that DIA accepts.
+func engineTestMatrices(t *testing.T) map[string]*matrix.CSR {
+	t.Helper()
+	ms := map[string]*matrix.CSR{
+		"banded": matrix.Tridiagonal(20000, 2, -1),
+	}
+	g, err := gen.Generate(gen.Params{
+		Rows: 30000, Cols: 30000, AvgNNZPerRow: 12, StdNNZPerRow: 4,
+		SkewCoeff: 50, BWScaled: 0.3, CrossRowSim: 0.4, AvgNumNeigh: 0.8, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms["generated"] = g
+
+	// A few giant rows dominate: exercises merge-path row splitting, COO
+	// whole-chunk carries, and the wide vectorized row path.
+	sizes := make([]int, 1500)
+	for i := range sizes {
+		sizes[i] = 6
+	}
+	sizes[0] = 2000
+	sizes[700] = 1200
+	sizes[1499] = 800
+	ms["longrows"] = matrix.RandomRowSizes(1500, 2500, sizes, 22)
+	return ms
+}
+
+// TestEngineSerialParallelEquivalence is the engine-level correctness
+// property: under a raised worker cap (so the pool genuinely runs multi-
+// worker even on small machines), SpMVParallel must match SpMV for every
+// registry format at several worker counts, within FP-reassociation
+// tolerance. Run with -race this also exercises the carry/scratch sharing.
+func TestEngineSerialParallelEquivalence(t *testing.T) {
+	prev := exec.SetMaxWorkers(8)
+	defer exec.SetMaxWorkers(prev)
+
+	counts := []int{1, 3, runtime.NumCPU()}
+	for name, m := range engineTestMatrices(t) {
+		x := matrix.RandomVector(m.Cols, 77)
+		want := make([]float64, m.Rows)
+		for _, b := range Registry() {
+			f, err := b.Build(m)
+			if err != nil {
+				if errors.Is(err, ErrBuild) {
+					continue
+				}
+				t.Fatalf("%s on %s: %v", b.Name, name, err)
+			}
+			f.SpMV(x, want)
+			for _, workers := range counts {
+				got := make([]float64, m.Rows)
+				for i := range got {
+					got[i] = math.NaN() // every row must be written
+				}
+				// Twice: the second call runs on the cached plan.
+				f.SpMVParallel(x, got, workers)
+				f.SpMVParallel(x, got, workers)
+				if d := maxAbsDiff(got, want); d > 1e-8 || anyNaN(got) {
+					t.Errorf("%s on %s with %d workers: differs from serial by %g (NaN=%v)",
+						b.Name, name, workers, d, anyNaN(got))
+				}
+			}
+		}
+	}
+}
+
+// TestSpMVParallelAllocs is the steady-state acceptance gate: after the
+// first call warms the plan cache and the pool, a parallel SpMV performs no
+// partition recomputation and no goroutine spawns — at most the one kernel
+// closure allocation per dispatch (HYB dispatches twice: its ELL phase and
+// its COO spill phase).
+func TestSpMVParallelAllocs(t *testing.T) {
+	prev := exec.SetMaxWorkers(4)
+	defer exec.SetMaxWorkers(prev)
+	exec.Prestart()
+
+	m, err := gen.Generate(gen.Params{
+		Rows: 60000, Cols: 60000, AvgNNZPerRow: 10, StdNNZPerRow: 3,
+		SkewCoeff: 10, BWScaled: 0.3, CrossRowSim: 0.4, AvgNumNeigh: 0.8, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := matrix.RandomVector(m.Cols, 7)
+	y := make([]float64, m.Rows)
+	for _, b := range Registry() {
+		f, err := b.Build(m)
+		if err != nil {
+			if errors.Is(err, ErrBuild) {
+				continue
+			}
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		limit := 1.0
+		if b.Name == "HYB" {
+			limit = 2 // two pooled phases, one closure each
+		}
+		f.SpMVParallel(x, y, 4) // warm plan cache and pool
+		f.SpMVParallel(x, y, 4)
+		allocs := testing.AllocsPerRun(10, func() {
+			f.SpMVParallel(x, y, 4)
+		})
+		if allocs > limit {
+			t.Errorf("%s: %v allocs per steady-state SpMVParallel, want <= %v",
+				b.Name, allocs, limit)
+		}
+	}
+}
+
+// TestConcurrentSameInstanceCalls drives the contention path: several
+// goroutines issue SpMVParallel on one format instance with distinct output
+// vectors. Calls that lose the plan's TryLock must fall back to private
+// scratch and still produce the serial result; with -race this also proves
+// the cached scratch is never shared across in-flight calls.
+func TestConcurrentSameInstanceCalls(t *testing.T) {
+	prev := exec.SetMaxWorkers(8)
+	defer exec.SetMaxWorkers(prev)
+
+	m, err := gen.Generate(gen.Params{
+		Rows: 20000, Cols: 20000, AvgNNZPerRow: 10, StdNNZPerRow: 3,
+		SkewCoeff: 20, BWScaled: 0.3, CrossRowSim: 0.4, AvgNumNeigh: 0.8, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := matrix.RandomVector(m.Cols, 41)
+	want := make([]float64, m.Rows)
+	// Scratch-using formats are the ones with a contention fallback.
+	for _, name := range []string{"COO", "Merge-CSR", "CSR5", "HYB", "VSL"} {
+		b, _ := Lookup(name)
+		f, err := b.Build(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		f.SpMV(x, want)
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				y := make([]float64, m.Rows)
+				for i := 0; i < 10; i++ {
+					f.SpMVParallel(x, y, 4)
+					if d := maxAbsDiff(y, want); d > 1e-8 {
+						errs <- name
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for name := range errs {
+			t.Errorf("%s: concurrent SpMVParallel diverged from serial", name)
+		}
+	}
+}
+
+// TestPlanCachePopulatesPerWorkerCount checks plans are keyed by worker
+// count and reused, via the exported cache length of a representative
+// format.
+func TestPlanCachePopulatesPerWorkerCount(t *testing.T) {
+	prev := exec.SetMaxWorkers(8)
+	defer exec.SetMaxWorkers(prev)
+
+	m := matrix.Tridiagonal(30000, 2, -1)
+	f := NewCSR(m)
+	x := matrix.RandomVector(m.Cols, 3)
+	y := make([]float64, m.Rows)
+	for i := 0; i < 3; i++ {
+		f.SpMVParallel(x, y, 3)
+	}
+	if n := f.plans.Len(); n != 1 {
+		t.Errorf("after repeated 3-worker calls: %d plans cached, want 1", n)
+	}
+	f.SpMVParallel(x, y, 5)
+	if n := f.plans.Len(); n != 2 {
+		t.Errorf("after a 5-worker call: %d plans cached, want 2", n)
+	}
+	f.SpMVParallel(x, y, 1) // serial fast path must not touch the cache
+	if n := f.plans.Len(); n != 2 {
+		t.Errorf("after a serial call: %d plans cached, want 2", n)
+	}
+}

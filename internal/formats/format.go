@@ -15,7 +15,6 @@ package formats
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/matrix"
 )
@@ -34,7 +33,13 @@ type Format interface {
 	Bytes() int64
 	// SpMV computes y = A*x serially.
 	SpMV(x, y []float64)
-	// SpMVParallel computes y = A*x using the given number of workers.
+	// SpMVParallel computes y = A*x. workers is a parallelism hint: the
+	// execution engine caps it at the machine's parallelism (see
+	// exec.MaxWorkers) and shrinks it when the matrix is too small to
+	// amortize worker wake-ups, falling back to the serial kernel for tiny
+	// inputs. Partitions and scratch buffers are computed on first use per
+	// worker count and cached inside the format instance, so steady-state
+	// calls do zero scheduling work.
 	SpMVParallel(x, y []float64, workers int)
 	// Traits reports the structural characteristics of this instance.
 	Traits() Traits
@@ -121,23 +126,6 @@ func Lookup(name string) (Builder, bool) {
 		}
 	}
 	return Builder{}, false
-}
-
-// runWorkers invokes f(0..p-1) on p goroutines and waits for completion.
-func runWorkers(p int, f func(w int)) {
-	if p <= 1 {
-		f(0)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		go func(w int) {
-			defer wg.Done()
-			f(w)
-		}(w)
-	}
-	wg.Wait()
 }
 
 // checkShape panics on kernel shape mismatches; calling SpMV with the wrong

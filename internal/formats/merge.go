@@ -1,6 +1,7 @@
 package formats
 
 import (
+	"repro/internal/exec"
 	"repro/internal/matrix"
 	"repro/internal/sched"
 )
@@ -9,9 +10,17 @@ import (
 // storage, but the parallel kernel splits the combined (row-ends + nonzeros)
 // merge path into equal diagonals, so even a single giant row is divided
 // between workers. Partial sums of rows cut by a boundary are fixed up
-// serially afterwards.
+// serially afterwards. The merge-path search runs once per worker count and
+// is cached, along with the carry buffers, in the execution plan.
 type MergeCSR struct {
 	CSR
+}
+
+// mergeScratch is the plan-cached carry state: one slot per worker for the
+// row cut by that worker's end boundary (-1 if none) and its partial sum.
+type mergeScratch struct {
+	row []int32
+	sum []float64
 }
 
 // NewMergeCSR builds the merge-based CSR format.
@@ -30,46 +39,58 @@ func (f *MergeCSR) Traits() Traits {
 // SpMVParallel implements Format using merge-path decomposition.
 func (f *MergeCSR) SpMVParallel(x, y []float64, workers int) {
 	checkShape(f.Name(), f.rows, f.cols, x, y)
+	workers = exec.Workers(f.work(), workers)
 	if workers <= 1 {
-		f.SpMV(x, y)
+		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows)
 		return
 	}
-	ranges := sched.MergePath(f.rowPtr, workers)
-	type carry struct {
-		row int // row cut by this worker's end boundary, -1 if none
-		sum float64
+	pl := f.plans.Get(workers, func(p int) *exec.Plan {
+		ranges := sched.MergePath(f.rowPtr, p)
+		return &exec.Plan{Ranges: ranges, Scratch: &mergeScratch{
+			row: make([]int32, len(ranges)),
+			sum: make([]float64, len(ranges)),
+		}}
+	})
+	ranges := pl.Ranges
+	sc := pl.Scratch.(*mergeScratch)
+	if pl.TryLock() {
+		defer pl.Unlock()
+	} else {
+		// Another call on this plan is mid-flight: private carries keep
+		// concurrent invocations fully parallel.
+		sc = &mergeScratch{row: make([]int32, len(ranges)), sum: make([]float64, len(ranges))}
 	}
-	carries := make([]carry, len(ranges))
-	runWorkers(len(ranges), func(w int) {
+	rowPtr, colIdx, val := f.rowPtr, f.colIdx, f.val
+	exec.Run(len(ranges), func(w int) {
 		r := ranges[w]
 		k := r.NNZLo
 		// Rows completed inside the range. The first row may have had its
 		// head consumed by the previous worker; that head arrives via the
 		// previous worker's carry in the serial fixup below.
 		for i := r.RowLo; i < r.RowHi; i++ {
-			end := int64(f.rowPtr[i+1])
+			end := int64(rowPtr[i+1])
 			sum := 0.0
 			for ; k < end; k++ {
-				sum += f.val[k] * x[f.colIdx[k]]
+				sum += val[k] * x[colIdx[k]]
 			}
 			y[i] = sum
 		}
 		// Trailing fragment of the row cut by the range end.
-		c := carry{row: -1}
+		sc.row[w] = -1
 		if k < r.NNZHi {
 			sum := 0.0
 			for ; k < r.NNZHi; k++ {
-				sum += f.val[k] * x[f.colIdx[k]]
+				sum += val[k] * x[colIdx[k]]
 			}
-			c = carry{row: r.RowHi, sum: sum}
+			sc.row[w] = int32(r.RowHi)
+			sc.sum[w] = sum
 		}
-		carries[w] = c
 	})
 	// Serial fixup: add the carried row fragments onto the rows that were
 	// completed (or further carried) by subsequent workers.
-	for _, c := range carries {
-		if c.row >= 0 && c.row < f.rows {
-			y[c.row] += c.sum
+	for w, row := range sc.row {
+		if row >= 0 && int(row) < f.rows {
+			y[row] += sc.sum[w]
 		}
 	}
 }

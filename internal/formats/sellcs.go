@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/matrix"
 )
 
@@ -130,20 +131,33 @@ func (f *SELLCS) Traits() Traits {
 		MetaBytesPerNNZ: meta, Vectorizable: true, Preprocessed: true}
 }
 
+// maxStackLanes bounds the chunk widths served by the stack-resident lane
+// accumulators; wider chunks fall back to a heap buffer.
+const maxStackLanes = 64
+
 func (f *SELLCS) chunkRange(x, y []float64, chLo, chHi int) {
 	c := f.c
-	sums := make([]float64, c)
+	var sumsBuf [maxStackLanes]float64
+	var sums []float64
+	if c <= maxStackLanes {
+		sums = sumsBuf[:c]
+	} else {
+		sums = make([]float64, c)
+	}
+	val, colIdx := f.val, f.colIdx
 	for ch := chLo; ch < chHi; ch++ {
 		base := f.chunkPtr[ch]
 		width := int(f.chunkLen[ch])
-		for lane := 0; lane < c; lane++ {
+		for lane := range sums {
 			sums[lane] = 0
 		}
-		for k := 0; k < width; k++ {
-			off := base + int64(k*c)
+		slab := int64(width) * int64(c)
+		cs := colIdx[base : base+slab : base+slab]
+		vs := val[base : base+slab : base+slab]
+		vs = vs[:len(cs)]
+		for k := 0; k < len(cs); k += c {
 			for lane := 0; lane < c; lane++ {
-				at := off + int64(lane)
-				sums[lane] += f.val[at] * x[f.colIdx[at]]
+				sums[lane] += vs[k+lane] * x[cs[k+lane]]
 			}
 		}
 		for lane := 0; lane < c; lane++ {
@@ -165,9 +179,7 @@ func (f *SELLCS) SpMV(x, y []float64) {
 func (f *SELLCS) SpMVParallel(x, y []float64, workers int) {
 	checkShape(f.Name(), f.rows, f.cols, x, y)
 	nChunks := len(f.chunkLen)
-	if workers < 1 {
-		workers = 1
-	}
+	workers = exec.Workers(int64(len(f.val)), workers)
 	if workers > nChunks {
 		workers = nChunks
 	}
@@ -175,7 +187,7 @@ func (f *SELLCS) SpMVParallel(x, y []float64, workers int) {
 		f.SpMV(x, y)
 		return
 	}
-	runWorkers(workers, func(w int) {
+	exec.Run(workers, func(w int) {
 		lo := nChunks * w / workers
 		hi := nChunks * (w + 1) / workers
 		f.chunkRange(x, y, lo, hi)

@@ -1,6 +1,7 @@
 package formats
 
 import (
+	"repro/internal/exec"
 	"repro/internal/matrix"
 	"repro/internal/sched"
 )
@@ -28,6 +29,7 @@ type SPX struct {
 	valPtr     []int64 // value offset per row
 	nnzPtr     []int32 // value offsets as int32 for the partitioner
 	bytesTotal int64
+	plans      exec.PlanCache
 }
 
 // MinRunLen is the shortest column run encoded as a horizontal-run unit.
@@ -43,7 +45,7 @@ const (
 
 // NewSPX builds the SparseX-like format from a CSR matrix.
 func NewSPX(m *matrix.CSR) *SPX {
-	f := &SPX{rows: m.Rows, cols: m.Cols, nnz: int64(m.NNZ())}
+	f := &SPX{rows: m.Rows, cols: m.Cols, nnz: int64(m.NNZ()), plans: exec.NewPlanCache()}
 	f.rowPtr = make([]int32, m.Rows+1)
 	f.valPtr = make([]int64, m.Rows+1)
 	f.val = append([]float64(nil), m.Val...)
@@ -219,8 +221,16 @@ func (f *SPX) SpMV(x, y []float64) {
 // using the value offsets as the balance measure.
 func (f *SPX) SpMVParallel(x, y []float64, workers int) {
 	checkShape("SparseX", f.rows, f.cols, x, y)
-	ranges := sched.NNZBalanced(f.nnzPtr, workers)
-	runWorkers(len(ranges), func(w int) {
+	workers = exec.Workers(f.nnz+int64(f.rows), workers)
+	if workers <= 1 {
+		f.rowRange(x, y, 0, f.rows)
+		return
+	}
+	pl := f.plans.Get(workers, func(p int) *exec.Plan {
+		return &exec.Plan{Ranges: sched.NNZBalanced(f.nnzPtr, p)}
+	})
+	ranges := pl.Ranges
+	exec.Run(len(ranges), func(w int) {
 		f.rowRange(x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }

@@ -51,9 +51,35 @@ func RowBlocks(rowPtr []int32, p int) []Range {
 	return out
 }
 
+// EvenRows splits rows into p contiguous blocks of near-equal row count
+// without consulting a row-pointer array, for formats whose per-row work is
+// uniform by construction (ELL, DIA). The NNZ fields count rows, so
+// Imbalance still reflects the distribution.
+func EvenRows(rows, p int) []Range {
+	if p < 1 {
+		p = 1
+	}
+	if p > rows && rows > 0 {
+		p = rows
+	}
+	if rows == 0 {
+		return []Range{{0, 0, 0, 0}}
+	}
+	out := make([]Range, p)
+	for w := 0; w < p; w++ {
+		lo := rows * w / p
+		hi := rows * (w + 1) / p
+		out[w] = Range{RowLo: lo, RowHi: hi, NNZLo: int64(lo), NNZHi: int64(hi)}
+	}
+	return out
+}
+
 // NNZBalanced splits rows into p contiguous blocks with near-equal nonzero
 // counts, found by binary search over the row-pointer array. A worker always
 // receives whole rows, so a single huge row still lands on one worker.
+// Under heavy skew fewer than p blocks may be produced: a block that would
+// receive no rows (its whole fair share was swallowed by a predecessor's
+// giant row) is collapsed rather than dispatched as an empty worker.
 func NNZBalanced(rowPtr []int32, p int) []Range {
 	rows := len(rowPtr) - 1
 	if p < 1 {
@@ -76,8 +102,8 @@ func NNZBalanced(rowPtr []int32, p int) []Range {
 		if w == p-1 {
 			hi = rows
 		}
-		if hi < prevRow {
-			hi = prevRow
+		if hi <= prevRow {
+			continue // degenerate: no rows left for this worker
 		}
 		out = append(out, Range{
 			RowLo: prevRow, RowHi: hi,
@@ -123,6 +149,8 @@ func MergePathSearch(diagonal int64, rowPtr []int32, rows int) MergeCoord {
 // MergePath splits the combined (rows + nnz) work items into p equal
 // diagonals. Unlike the row-granular policies, a worker range may begin or
 // end in the middle of a row; kernels carry partial sums across boundaries.
+// Ranges covering zero work items (p exceeding rows+nnz) are collapsed
+// rather than dispatched as empty workers.
 func MergePath(rowPtr []int32, p int) []Range {
 	rows := len(rowPtr) - 1
 	if p < 1 {
@@ -133,12 +161,18 @@ func MergePath(rowPtr []int32, p int) []Range {
 	}
 	nnz := int64(rowPtr[rows])
 	total := int64(rows) + nnz
-	out := make([]Range, p)
+	if int64(p) > total {
+		p = int(total)
+	}
+	out := make([]Range, 0, p)
 	prev := MergeCoord{}
 	for w := 0; w < p; w++ {
 		diag := total * int64(w+1) / int64(p)
 		next := MergePathSearch(diag, rowPtr, rows)
-		out[w] = Range{RowLo: prev.Row, RowHi: next.Row, NNZLo: prev.NNZ, NNZHi: next.NNZ}
+		if next == prev {
+			continue // zero-work diagonal span
+		}
+		out = append(out, Range{RowLo: prev.Row, RowHi: next.Row, NNZLo: prev.NNZ, NNZHi: next.NNZ})
 		prev = next
 	}
 	return out
