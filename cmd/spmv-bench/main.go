@@ -13,12 +13,16 @@
 //	-sample N                     subsample the grid to ~N points (0 = full)
 //	-devices a,b,c                restrict to these testbeds
 //	-seed N                       sampling/generator seed
+//	-shards N                     execution-pool shards (0 = SPMV_SHARDS or
+//	                              detected topology domains)
 //	-csv DIR                      also write one CSV per report into DIR
 //	-json FILE                    also write all reports as JSON into FILE
 //
 // The JSON output is the machine-readable perf trajectory: for example,
 // `spmv-bench -sample 8 -json BENCH_spmv.json native` records the native
-// per-format GFLOPS quartiles measured on this host.
+// per-format GFLOPS quartiles measured on this host. Every run appends a
+// "shards" report with the execution engine's per-shard dispatch counts and
+// busy time, so concurrency behavior is visible alongside kernel numbers.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/dataset"
+	"repro/internal/topo"
 )
 
 func main() {
@@ -39,6 +44,7 @@ func main() {
 		sample  = flag.String("sample", "0", "subsample the grid to ~N points (0 = full grid)")
 		devices = flag.String("devices", "", "comma-separated testbed names (default: all)")
 		seed    = flag.Int64("seed", 1, "sampling and generator seed")
+		shards  = flag.Int("shards", 0, "execution-pool shards (0 = SPMV_SHARDS or detected topology domains)")
 		csvDir  = flag.String("csv", "", "directory to also write CSV reports into")
 		jsonOut = flag.String("json", "", "file to also write all reports into as JSON")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
@@ -70,6 +76,10 @@ func main() {
 	if *devices != "" {
 		opts.Devices = strings.Split(*devices, ",")
 	}
+	if *shards < 0 {
+		fatalf("bad -shards %d (want >= 0)", *shards)
+	}
+	topo.SetShards(*shards)
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -97,6 +107,13 @@ func main() {
 			collected = append(collected, r)
 		}
 	}
+	// Per-shard dispatch statistics ride along with every run, on stdout
+	// and in the JSON trajectory.
+	sr := bench.ShardReport()
+	if err := sr.Render(os.Stdout); err != nil {
+		fatalf("render shards: %v", err)
+	}
+	collected = append(collected, sr)
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, collected); err != nil {
 			fatalf("json: %v", err)

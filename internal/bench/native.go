@@ -5,8 +5,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/stats"
+	"repro/internal/topo"
 )
 
 // NativeScaleMB is the footprint the native experiment scales matrices to
@@ -50,7 +52,33 @@ func RunNative(o Options) []*Report {
 			fmtG(s.Q1), fmtG(s.Median), fmtG(s.Q3), fmtG(s.Max))
 	}
 	r.AddNote("measured wall-clock GFLOPS with up to %d workers; absolute values depend on this host", engine.EffectiveWorkers())
+	r.AddNote("execution engine: %d pool shard(s) over %d topology domain(s); see the shards report for per-shard dispatch",
+		topo.Shards(), topo.NumDomains())
 	return []*Report{r}
+}
+
+// ShardReport snapshots the execution engine's per-shard dispatch counters
+// as a report, the observability surface `spmv-bench` appends to its table
+// and -json output: which shard served how many dispatches, how many calls
+// gang-scheduled across shards, cumulative busy wall time per shard, and
+// how often every shard was busy and a call fell back to spawned
+// goroutines.
+func ShardReport() *Report {
+	st := exec.Stats()
+	r := &Report{
+		ID:     "shards",
+		Title:  fmt.Sprintf("Execution engine dispatch over %d pool shard(s)", len(st.Shards)),
+		Header: []string{"shard", "domain", "workers", "runs", "gang_runs", "busy_s"},
+	}
+	for _, s := range st.Shards {
+		r.AddRow(fmt.Sprintf("%d", s.Shard), fmt.Sprintf("%d", s.Domain),
+			fmt.Sprintf("%d", s.Workers), fmt.Sprintf("%d", s.Runs),
+			fmt.Sprintf("%d", s.GangRuns), fmt.Sprintf("%.4f", s.Busy.Seconds()))
+	}
+	r.AddNote("topology: %d domain(s); shard count resolves SetShards > SPMV_SHARDS > detected domains",
+		topo.NumDomains())
+	r.AddNote("spawn fallbacks (dispatches that found every shard busy): %d", st.SpawnFallbacks)
+	return r
 }
 
 // nativePoints picks a small diverse feature sample and scales footprints

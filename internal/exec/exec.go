@@ -1,7 +1,7 @@
-// Package exec is the persistent SpMV execution engine: a lazily-started,
-// process-wide pool of parked worker goroutines that format kernels dispatch
-// onto, plus inspector-style execution plans that cache each format's
-// partition (and per-worker scratch buffers) keyed by worker count.
+// Package exec is the persistent SpMV execution engine: a topology-sharded
+// set of worker pools that format kernels dispatch onto, plus
+// inspector-style execution plans that cache each format's partition (and
+// per-worker scratch buffers) keyed by execution placement.
 //
 // The seed implementation paid a goroutine-spawn + sync.WaitGroup round
 // trip and recomputed its sched partition on every SpMV call. For the
@@ -11,27 +11,41 @@
 // discipline of MKL-IE, SELL-C-sigma and merge-based SpMV: analyze once,
 // execute many times.
 //
-// Three mechanisms deliver steady-state calls with zero scheduling work and
+// Four mechanisms deliver steady-state calls with zero scheduling work and
 // at most one allocation (the kernel closure):
 //
 //   - Pool: worker goroutines park on per-worker wake channels and are
 //     reused across calls. Waking a parked worker is a channel send, an
 //     order of magnitude cheaper than spawning, and produces no garbage.
-//     The caller participates as worker 0, so Run(n, f) wakes only n-1
-//     workers. If the pool is busy (concurrent or nested Run), the call
-//     falls back to plain spawned goroutines rather than queueing, so the
-//     engine never deadlocks and concurrent callers keep the seed behavior.
+//     The caller participates as worker 0, so a pool dispatch of n shards
+//     wakes only n-1 workers.
+//   - Engine/Grant: the process-wide engine owns one pool shard per
+//     topology domain (internal/topo; override with SPMV_SHARDS or
+//     topo.SetShards). A call Acquires a grant, which routes it round-robin
+//     to an idle shard, so independent concurrent SpMV calls run on
+//     distinct shards' parked workers instead of falling back to spawned
+//     goroutines the way the single-pool engine of PR 1 did. A single call
+//     wider than one shard gang-schedules across every idle shard. Only
+//     when every shard is busy does the engine fall back to plain spawned
+//     goroutines, so it never deadlocks and never queues.
 //   - Plan/PlanCache: a format computes its sched.Range partition (and any
-//     carry/scratch buffers) once per worker count and caches it inside the
+//     carry/scratch buffers) once per PlanKey — the (shard, domain count,
+//     worker count) placement a grant reports — and caches it inside the
 //     format instance. Matrices are immutable after build, so plans never
-//     invalidate.
+//     invalidate. Keying by shard also gives each shard a private cached
+//     scratch, so concurrent calls routed to distinct shards never contend
+//     on one plan's buffers; ganged grants use a domain-split partition
+//     whose row ranges are computed within each domain's contiguous slice
+//     of the matrix (sched.DomainSplit).
 //   - Workers: a serial fast-path cutoff. Parallelism below MinGrain work
 //     items per worker costs more in wake latency than it saves, and worker
 //     counts beyond the machine's parallelism only add overhead, so tiny
 //     kernels run inline on the caller.
 //
-// Future work (see ROADMAP.md): NUMA-aware sharded pools, where each shard
-// pins its workers and partitions are computed per NUMA domain.
+// On multi-domain machines each shard's workers lock their OS threads and
+// pin to the shard's domain CPUs (best effort, Linux sched_setaffinity), so
+// a shard's partition slice stays on the cores — and, under first-touch
+// placement, near the memory — of one domain.
 package exec
 
 import (
@@ -87,12 +101,15 @@ func Workers(work int64, requested int) int {
 	return requested
 }
 
-// Pool is a persistent worker pool. The zero value is valid: workers start
-// lazily on the first parallel Run. A Pool must not be copied after use.
+// Pool is a persistent worker pool — one shard of the engine, or a
+// standalone pool for tests. The zero value is valid: workers start lazily
+// on the first parallel Run. A Pool must not be copied after use.
 type Pool struct {
-	mu      sync.Mutex // held for the duration of one Run
+	mu      sync.Mutex // held for the duration of one dispatch
 	started bool
+	closed  bool
 	size    int // parked workers; excludes the caller
+	pin     func()
 	work    func(w int)
 	wake    []chan int    // wake[i] carries the shard id worker i runs
 	done    chan struct{} // one token per completed shard
@@ -117,7 +134,7 @@ func defaultPoolSize() int {
 }
 
 func (p *Pool) ensureStarted() {
-	if p.started {
+	if p.started || p.closed {
 		return
 	}
 	if p.size <= 0 {
@@ -136,6 +153,13 @@ func (p *Pool) ensureStarted() {
 // work. The channel is captured at spawn so a later Close (which nils the
 // pool's slices) cannot race with a worker that has not yet been scheduled.
 func (p *Pool) worker(wake <-chan int) {
+	if p.pin != nil {
+		// Pinning is per OS thread; locking keeps this worker on the thread
+		// whose affinity was set. The lock is never released, so the thread
+		// dies with the worker when the pool closes.
+		runtime.LockOSThread()
+		p.pin()
+	}
 	for id := range wake {
 		p.work(id)
 		p.done <- struct{}{}
@@ -153,6 +177,20 @@ func (p *Pool) Run(n int, f func(w int)) {
 		return
 	}
 	if !p.mu.TryLock() {
+		spawnRun(n, f)
+		return
+	}
+	p.runLocked(n, f)
+}
+
+// runLocked executes f(0..n-1) on the pool's parked workers plus the
+// calling goroutine. The caller must hold p.mu; runLocked releases it.
+func (p *Pool) runLocked(n int, f func(w int)) {
+	if p.closed {
+		// A Run or reshard raced a Close: a closed pool must never restart
+		// its workers (they would be orphaned forever), so fall back to
+		// spawning.
+		p.mu.Unlock()
 		spawnRun(n, f)
 		return
 	}
@@ -182,8 +220,40 @@ func (p *Pool) Run(n int, f func(w int)) {
 	}
 }
 
+// dispatch wakes up to max (capped at the pool size) workers with the
+// consecutive shard ids lo, lo+1, ... and returns how many it woke, without
+// waiting. The caller must hold p.mu and must later consume exactly that
+// many done tokens via drain. This is the ganged half of a Grant.Run, where
+// the goroutine that waits is executing on another shard.
+func (p *Pool) dispatch(f func(w int), lo, max int) int {
+	if p.closed {
+		return 0 // ids fall back to the caller's inline leftover loop
+	}
+	p.ensureStarted()
+	p.work = f
+	k := max
+	if k > p.size {
+		k = p.size
+	}
+	for i := 0; i < k; i++ {
+		p.wake[i] <- lo + i
+	}
+	return k
+}
+
+// drain consumes k done tokens (matching a prior dispatch) and releases
+// the pool.
+func (p *Pool) drain(k int) {
+	for i := 0; i < k; i++ {
+		<-p.done
+	}
+	p.work = nil
+	p.mu.Unlock()
+}
+
 // Prestart spins up the parked workers without running work, so the first
-// timed kernel call does not pay pool construction.
+// timed kernel call does not pay pool construction. Prestarting a closed
+// pool is a no-op: resurrecting it would orphan the new workers.
 func (p *Pool) Prestart() {
 	p.mu.Lock()
 	p.ensureStarted()
@@ -201,10 +271,12 @@ func (p *Pool) Size() int {
 }
 
 // Close terminates the parked workers. Run must not be called after Close;
-// it exists so tests and short-lived tools can release goroutines.
+// it exists so tests, short-lived tools and engine reshards can release
+// goroutines.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.closed = true
 	if !p.started {
 		return
 	}
@@ -215,14 +287,14 @@ func (p *Pool) Close() {
 	p.wake = nil
 }
 
-// defaultPool is the process-wide pool all format kernels share.
-var defaultPool Pool
+// spawnFallbacks counts dispatches that found every shard busy and fell
+// back to spawned goroutines (the seed-era path). Steady workloads sized to
+// the shard count should keep this flat; see Stats.
+var spawnFallbacks atomic.Uint64
 
-// Run executes f(0..n-1) on the process-wide pool and waits.
-func Run(n int, f func(w int)) { defaultPool.Run(n, f) }
-
-// Prestart spins up the process-wide pool.
-func Prestart() { defaultPool.Prestart() }
+// SpawnFallbacks returns the cumulative count of spawned-goroutine
+// fallback dispatches.
+func SpawnFallbacks() uint64 { return spawnFallbacks.Load() }
 
 // spawnRun is the seed-era fallback: one fresh goroutine per shard.
 func spawnRun(n int, f func(w int)) {

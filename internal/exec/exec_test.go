@@ -165,20 +165,21 @@ func TestSetMaxWorkersRestore(t *testing.T) {
 	}
 }
 
-func TestPlanCacheBuildsOncePerWorkerCount(t *testing.T) {
+func TestPlanCacheBuildsOncePerKey(t *testing.T) {
 	c := NewPlanCache()
 	var builds int32
-	build := func(p int) *Plan {
+	build := func(k PlanKey) *Plan {
 		atomic.AddInt32(&builds, 1)
-		return &Plan{Ranges: make([]sched.Range, p)}
+		return &Plan{Ranges: make([]sched.Range, k.Workers)}
 	}
+	key := PlanKey{Shard: 0, Domains: 1, Workers: 4}
 	var wg sync.WaitGroup
 	plans := make([]*Plan, 16)
 	for g := range plans {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			plans[g] = c.Get(4, build)
+			plans[g] = c.Get(key, build)
 		}(g)
 	}
 	wg.Wait()
@@ -190,18 +191,26 @@ func TestPlanCacheBuildsOncePerWorkerCount(t *testing.T) {
 	if builds != 1 {
 		t.Fatalf("build ran %d times, want 1", builds)
 	}
-	c.Get(8, build)
+	c.Get(PlanKey{Shard: 0, Domains: 1, Workers: 8}, build)
 	if builds != 2 || c.Len() != 2 {
 		t.Fatalf("second worker count: builds=%d len=%d", builds, c.Len())
+	}
+	// Placement, not just worker count, keys a plan: the same worker count
+	// on another shard, or ganged over several domains, is a new plan.
+	c.Get(PlanKey{Shard: 1, Domains: 1, Workers: 4}, build)
+	c.Get(PlanKey{Shard: AnyShard, Domains: 2, Workers: 4}, build)
+	if builds != 4 || c.Len() != 4 {
+		t.Fatalf("per-placement keys: builds=%d len=%d, want 4 and 4", builds, c.Len())
 	}
 }
 
 func TestPlanCacheWarmGetZeroAllocs(t *testing.T) {
 	c := NewPlanCache()
-	build := func(p int) *Plan { return &Plan{} }
-	c.Get(4, build)
+	build := func(PlanKey) *Plan { return &Plan{} }
+	key := PlanKey{Shard: 0, Domains: 1, Workers: 4}
+	c.Get(key, build)
 	allocs := testing.AllocsPerRun(100, func() {
-		c.Get(4, build)
+		c.Get(key, build)
 	})
 	if allocs > 0 {
 		t.Errorf("warm Get allocates %v times per call, want 0", allocs)

@@ -6,10 +6,28 @@ import (
 	"repro/internal/sched"
 )
 
-// Plan is the cached output of a format's inspector step for one worker
-// count: the row/nonzero partition and any per-worker scratch (merge-path
-// carries, CSR5 segment bases, VSL partial vectors). Building a plan costs
-// one partition computation; executing it costs nothing.
+// PlanKey identifies the execution placement a plan was built for — the
+// value a Grant reports before the kernel runs.
+type PlanKey struct {
+	// Shard is the engine shard the dispatch landed on, or AnyShard for
+	// gang-scheduled and spawn-fallback dispatches. Keying by shard gives
+	// every shard its own cached scratch buffers, so concurrent calls
+	// routed to distinct shards never contend on one plan's scratch (and
+	// never pay the private-scratch allocation fallback).
+	Shard int
+	// Domains is the number of topology-domain slices the partition covers:
+	// 1 for single-shard placements, the gang width for ganged ones. Plan
+	// builders hand it to sched.DomainSplit so each worker's row range is
+	// computed within its domain's contiguous slice of the matrix.
+	Domains int
+	// Workers is the worker count the partition splits across.
+	Workers int
+}
+
+// Plan is the cached output of a format's inspector step for one placement:
+// the row/nonzero partition and any per-worker scratch (merge-path carries,
+// CSR5 segment bases, VSL partial vectors). Building a plan costs one
+// partition computation; executing it costs nothing.
 //
 // Scratch buffers are shared by every call that uses the plan, so kernels
 // that write scratch must hold the plan lock for the duration of the call —
@@ -17,7 +35,10 @@ import (
 // another call already holds it, so concurrent invocations with distinct
 // output vectors keep full throughput (the seed behavior) and only pay the
 // allocation when actual contention exists. Kernels without scratch (pure
-// row-range partitions) skip the lock entirely.
+// row-range partitions) skip the lock entirely. Shard-keyed plans make
+// that contention rare: two calls only share a plan when they land on the
+// same shard, which the engine's round-robin routing avoids while any
+// shard is idle.
 type Plan struct {
 	// Ranges is the cached partition; one entry per worker.
 	Ranges []sched.Range
@@ -34,7 +55,7 @@ func (p *Plan) TryLock() bool { return p.mu.TryLock() }
 // Unlock releases the scratch lock.
 func (p *Plan) Unlock() { p.mu.Unlock() }
 
-// PlanCache memoizes Plans by worker count inside a format instance. It is
+// PlanCache memoizes Plans by placement key inside a format instance. It is
 // a single-pointer handle so formats can embed it by value; create it with
 // NewPlanCache in the format constructor. Copies of the handle share the
 // underlying store, which is what embedded-format copies made during
@@ -47,34 +68,34 @@ type PlanCache struct {
 
 type planStore struct {
 	mu    sync.RWMutex
-	plans map[int]*Plan
+	plans map[PlanKey]*Plan
 }
 
 // NewPlanCache returns an empty cache.
 func NewPlanCache() PlanCache {
-	return PlanCache{s: &planStore{plans: make(map[int]*Plan)}}
+	return PlanCache{s: &planStore{plans: make(map[PlanKey]*Plan)}}
 }
 
-// Get returns the plan for the worker count, building and caching it on
+// Get returns the plan for the placement key, building and caching it on
 // first use. The warm path is a read-locked map probe: no allocation, no
 // partition work.
-func (c PlanCache) Get(workers int, build func(workers int) *Plan) *Plan {
+func (c PlanCache) Get(key PlanKey, build func(key PlanKey) *Plan) *Plan {
 	c.s.mu.RLock()
-	pl := c.s.plans[workers]
+	pl := c.s.plans[key]
 	c.s.mu.RUnlock()
 	if pl != nil {
 		return pl
 	}
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
-	if pl = c.s.plans[workers]; pl == nil {
-		pl = build(workers)
-		c.s.plans[workers] = pl
+	if pl = c.s.plans[key]; pl == nil {
+		pl = build(key)
+		c.s.plans[key] = pl
 	}
 	return pl
 }
 
-// Len reports how many worker counts have cached plans.
+// Len reports how many placements have cached plans.
 func (c PlanCache) Len() int {
 	c.s.mu.RLock()
 	defer c.s.mu.RUnlock()

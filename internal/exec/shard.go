@@ -1,0 +1,409 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// AnyShard is the PlanKey shard id for dispatches not bound to a single
+// shard: gang-scheduled calls and spawn fallbacks.
+const AnyShard = -1
+
+// maxGang bounds how many shards one grant can gang-schedule across. Eight
+// covers every contemporary multi-socket topology; a machine with more
+// domains simply runs the widest calls over the first eight idle shards,
+// spawning goroutines for the remainder.
+const maxGang = 8
+
+// shard is one engine pool plus its dispatch statistics.
+type shard struct {
+	pool   *Pool
+	id     int // shard index within the engine; orders ganged dispatches
+	domain int // topo domain id the shard's workers prefer
+	// capacity is the shard's effective parallel width in lanes. On
+	// multi-domain machines it is the domain's CPU count, which may be
+	// below the pool's parked-worker floor: the gang trigger compares the
+	// requested workers against capacity, so a call wider than one domain
+	// spreads across shards instead of stacking on one domain's pinned
+	// CPUs. Where CPUs are unknown it is the full lane count (parked
+	// workers plus the caller).
+	capacity int
+
+	runs     atomic.Uint64 // single-shard dispatches served
+	gangRuns atomic.Uint64 // ganged dispatches this shard participated in
+	busy     atomic.Int64  // cumulative nanoseconds spent serving dispatches
+}
+
+// Engine is the sharded execution engine: one worker-pool shard per
+// topology domain (or per requested shard, see topo.Shards), each parking
+// its workers independently. Independent concurrent SpMV calls are routed
+// round-robin to idle shards; a single call wider than one shard
+// gang-schedules across every idle shard. The zero value is valid and
+// builds its shards lazily; when topo.Shards changes (SetShards or a new
+// SPMV_SHARDS evaluation), the next dispatch rebuilds the shard set.
+type Engine struct {
+	mu    sync.Mutex // serializes rebuilds
+	state atomic.Pointer[engineState]
+	next  atomic.Uint32 // round-robin routing cursor
+}
+
+type engineState struct {
+	shards []*shard
+}
+
+// shards returns the current shard set, (re)building it when the requested
+// shard count changed. The warm path is one atomic load.
+func (e *Engine) shards() []*shard {
+	want := topo.Shards()
+	if st := e.state.Load(); st != nil && len(st.shards) == want {
+		return st.shards
+	}
+	return e.rebuild(want)
+}
+
+func (e *Engine) rebuild(want int) []*shard {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st := e.state.Load(); st != nil {
+		if len(st.shards) == want {
+			return st.shards
+		}
+		// Close waits for each old shard's in-flight dispatch (it takes the
+		// pool mutex), so resharding never strands running work.
+		for _, s := range st.shards {
+			s.pool.Close()
+		}
+	}
+	doms := topo.Assign(want)
+	// Pinning only makes sense when every domain has at least one shard:
+	// with fewer shards than domains (an undersharded override such as
+	// -shards 1 on a dual-socket box), pinning would confine the whole
+	// engine to the first domains' CPUs and leave the rest of the machine
+	// idle, so those shards stay unpinned and machine-wide.
+	pinned := topo.NumDomains() > 1 && want >= topo.NumDomains()
+	shards := make([]*shard, want)
+	for i := range shards {
+		d := doms[i]
+		cpus := 0
+		if pinned {
+			cpus = len(d.CPUs)
+		}
+		p := &Pool{size: shardPoolSize(cpus, want)}
+		capacity := p.size + 1
+		if pinned && len(d.CPUs) > 0 {
+			dcpus := d.CPUs
+			p.pin = func() { _ = topo.PinSelf(dcpus) } // best effort
+			// Pinned workers share the domain's CPUs: cap the lanes the
+			// dispatcher uses at the CPU count so a wide call gangs across
+			// domains rather than stacking on one domain's cores (the
+			// parked-worker floor can exceed small domains).
+			if capacity = len(dcpus); capacity < 2 {
+				capacity = 2 // always keep one real worker lane
+			}
+		}
+		shards[i] = &shard{pool: p, id: i, domain: d.ID, capacity: capacity}
+	}
+	e.state.Store(&engineState{shards: shards})
+	return shards
+}
+
+// shardPoolSize sizes one shard's parked workers from its domain's CPU
+// count (GOMAXPROCS split across shards when the platform cannot say),
+// with the same floor as defaultPoolSize so tests get real goroutine
+// interleaving on small machines. Sizing shards to their domain is what
+// makes dispatch topology-aware: a call that fits one domain's cores stays
+// on one shard, and only wider calls gang across domains.
+func shardPoolSize(cpus, shards int) int {
+	if cpus == 0 {
+		cpus = runtime.GOMAXPROCS(0) / shards
+	}
+	if n := cpus - 1; n > 7 {
+		return n
+	}
+	return 7
+}
+
+// Grant is a claim on execution resources for one parallel dispatch,
+// returned by Acquire. A grant pins down where the call will run before
+// the kernel looks up its plan, so the plan can be cached per placement
+// (PlanKey) and, for ganged grants, partitioned per domain. Every grant
+// must be consumed by exactly one Run call.
+type Grant struct {
+	workers int
+	shardID int
+	np      int // pools acquired; 0 = spawn fallback
+	pools   [maxGang]*shard
+}
+
+// Key returns the plan-cache key for this grant's placement.
+func (g *Grant) Key() PlanKey {
+	d := g.np
+	if d < 1 {
+		d = 1
+	}
+	return PlanKey{Shard: g.shardID, Domains: d, Workers: g.workers}
+}
+
+// ShardID returns the shard the grant landed on, or AnyShard for ganged
+// and spawn-fallback grants.
+func (g *Grant) ShardID() int { return g.shardID }
+
+// Domains returns how many shards the grant spans: 1 for single-shard and
+// fallback grants, the gang width for ganged grants.
+func (g *Grant) Domains() int {
+	if g.np < 1 {
+		return 1
+	}
+	return g.np
+}
+
+// Acquire claims execution resources for a dispatch of up to `workers`
+// shards. Routing walks the shards round-robin from a rotating cursor and
+// takes the first idle one; if that shard's lanes (its parked workers plus
+// the caller) cannot cover the request and other shards are idle, the
+// grant gangs them in. When every shard is busy the grant is a spawn
+// fallback, preserving the engine's never-queue, never-deadlock property.
+func (e *Engine) Acquire(workers int) Grant {
+	g := Grant{workers: workers, shardID: AnyShard}
+	if workers <= 1 {
+		return g
+	}
+	shards := e.shards()
+	n := len(shards)
+	// Modulo in uint32 space: the wrapping cursor must never go negative
+	// through an int conversion on 32-bit platforms.
+	start := int((e.next.Add(1) - 1) % uint32(n))
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		s := shards[idx]
+		if s.pool.mu.TryLock() {
+			if s.pool.closed {
+				// A reshard raced this acquire; skip the dead pool.
+				s.pool.mu.Unlock()
+				continue
+			}
+			g.pools[0], g.np, g.shardID = s, 1, idx
+			break
+		}
+	}
+	if g.np == 0 {
+		return g
+	}
+	if lanes := g.pools[0].capacity; lanes < workers && n > 1 {
+		for i := 1; i < n && g.np < maxGang && lanes < workers; i++ {
+			s := shards[(g.shardID+i)%n]
+			if s.pool.mu.TryLock() {
+				if s.pool.closed {
+					s.pool.mu.Unlock()
+					continue
+				}
+				g.pools[g.np] = s
+				g.np++
+				lanes += s.capacity
+			}
+		}
+		if g.np > 1 {
+			// Order the gang by shard index so the plan's domain slice j
+			// always lands on the j-th lowest enlisted shard: the rotating
+			// cursor acquires pools in varying order, and without this sort
+			// the same matrix slice would migrate across sockets call to
+			// call, defeating pinning and cross-call cache reuse.
+			for i := 1; i < g.np; i++ {
+				for k := i; k > 0 && g.pools[k].id < g.pools[k-1].id; k-- {
+					g.pools[k], g.pools[k-1] = g.pools[k-1], g.pools[k]
+				}
+			}
+			g.shardID = AnyShard
+		}
+	}
+	return g
+}
+
+// Run executes f(0..n-1) on the granted resources, waits for completion,
+// and releases every acquired shard. n at most g.workers; fewer (a
+// partition that collapsed ranges) is fine. Run consumes the grant: a
+// deferred Release afterwards is a no-op.
+func (g *Grant) Run(n int, f func(w int)) {
+	np := g.np
+	g.np = 0 // consumed; Release becomes a no-op
+	if np == 0 {
+		if n <= 1 {
+			f(0)
+			return
+		}
+		spawnFallbacks.Add(1)
+		spawnRun(n, f)
+		return
+	}
+	if n <= 1 {
+		// A collapsed partition: the shards were held but no workers run.
+		// Still counts as served dispatches so the shards report reflects
+		// real engine traffic.
+		for j := 0; j < np; j++ {
+			g.pools[j].pool.mu.Unlock()
+			g.pools[j].runs.Add(1)
+		}
+		f(0)
+		return
+	}
+	if np == 1 {
+		s := g.pools[0]
+		t0 := time.Now()
+		if lanes := s.pool.size + 1; n > lanes {
+			// A wide call landed on one shard because every other shard was
+			// busy: spawn the overflow ids so they run concurrently instead
+			// of serializing on the caller after its own lane (PR 1 spawned
+			// the whole call in this situation).
+			var wg sync.WaitGroup
+			// Wait again in a defer: if a pooled lane panics, the spawned
+			// goroutines must not be left writing y while the caller
+			// unwinds and possibly retries with the same vector.
+			defer wg.Wait()
+			wg.Add(n - lanes)
+			for w := lanes; w < n; w++ {
+				go func(w int) {
+					defer wg.Done()
+					f(w)
+				}(w)
+			}
+			s.pool.runLocked(lanes, f)
+			wg.Wait()
+		} else {
+			s.pool.runLocked(n, f)
+		}
+		s.busy.Add(int64(time.Since(t0)))
+		s.runs.Add(1)
+		return
+	}
+	// Ganged dispatch: shard j's workers take the consecutive id block
+	// [w*j/np, w*(j+1)/np) — the exact range block sched.DomainSplit hands
+	// domain j when building the plan for this placement (Domains=np,
+	// Workers=w) — so each domain's slice of the matrix is walked by the
+	// shard pinned to that domain. The caller runs id 0 as a lane of the
+	// first shard; ids a pool cannot wake (its parked workers are fewer
+	// than its share) are spawned so they still run concurrently.
+	w := g.workers
+	t0 := time.Now()
+	var woken [maxGang]int
+	defer func() {
+		// Drain in a defer so a panicking caller shard still consumes every
+		// done token before the pools unlock.
+		for j := 0; j < np; j++ {
+			s := g.pools[j]
+			s.pool.drain(woken[j])
+			s.gangRuns.Add(1)
+		}
+		d := int64(time.Since(t0))
+		for j := 0; j < np; j++ {
+			g.pools[j].busy.Add(d)
+		}
+	}()
+	var spawned sync.WaitGroup
+	// As with the drain defer above: a panicking caller lane must not leave
+	// spawned overflow goroutines still writing y after the call unwinds.
+	defer spawned.Wait()
+	for j := 0; j < np; j++ {
+		lo := w * j / np
+		hi := w * (j + 1) / np
+		if j == 0 {
+			lo = 1 // the caller runs id 0, a lane of the first shard
+		}
+		if hi > n {
+			hi = n // a collapsed partition produced fewer ranges
+		}
+		if lo >= hi {
+			continue
+		}
+		woken[j] = g.pools[j].pool.dispatch(f, lo, hi-lo)
+		// Ids of this domain's block beyond the pool's parked workers are
+		// spawned rather than handed to the next shard, so they never run
+		// on another domain's pinned cores.
+		for v := lo + woken[j]; v < hi; v++ {
+			spawned.Add(1)
+			go func(v int) {
+				defer spawned.Done()
+				f(v)
+			}(v)
+		}
+	}
+	f(0)
+	spawned.Wait()
+}
+
+// Release frees a grant's shards without running work. It is a no-op after
+// Run; kernels defer it so a panic between Acquire and Run (a failing plan
+// builder, a shape check in a nested call) can never leave a shard locked
+// for the life of the process.
+func (g *Grant) Release() {
+	for j := 0; j < g.np; j++ {
+		g.pools[j].pool.mu.Unlock()
+	}
+	g.np = 0
+}
+
+// ShardStat is one shard's identity and cumulative dispatch statistics.
+type ShardStat struct {
+	Shard    int           // shard index within the engine
+	Domain   int           // topo domain id the shard's workers prefer
+	Workers  int           // parked workers (the caller adds one lane)
+	Runs     uint64        // single-shard dispatches served
+	GangRuns uint64        // ganged dispatches participated in
+	Busy     time.Duration // cumulative wall time serving dispatches
+}
+
+// EngineStats is a snapshot of the engine's dispatch counters.
+type EngineStats struct {
+	Shards         []ShardStat
+	SpawnFallbacks uint64 // process-wide count of spawned-goroutine fallbacks
+}
+
+// Stats snapshots per-shard dispatch statistics.
+func (e *Engine) Stats() EngineStats {
+	shards := e.shards()
+	st := EngineStats{
+		Shards:         make([]ShardStat, len(shards)),
+		SpawnFallbacks: SpawnFallbacks(),
+	}
+	for i, s := range shards {
+		st.Shards[i] = ShardStat{
+			Shard:    i,
+			Domain:   s.domain,
+			Workers:  s.pool.size,
+			Runs:     s.runs.Load(),
+			GangRuns: s.gangRuns.Load(),
+			Busy:     time.Duration(s.busy.Load()),
+		}
+	}
+	return st
+}
+
+// Prestart spins up every shard's parked workers so the first timed kernel
+// call does not pay pool construction.
+func (e *Engine) Prestart() {
+	for _, s := range e.shards() {
+		s.pool.Prestart()
+	}
+}
+
+// defaultEngine is the process-wide engine all format kernels share.
+var defaultEngine Engine
+
+// Acquire claims resources for a workers-wide dispatch on the process-wide
+// engine.
+func Acquire(workers int) Grant { return defaultEngine.Acquire(workers) }
+
+// Run executes f(0..n-1) on the process-wide engine and waits.
+func Run(n int, f func(w int)) {
+	g := Acquire(n)
+	g.Run(n, f)
+}
+
+// Prestart spins up every shard of the process-wide engine.
+func Prestart() { defaultEngine.Prestart() }
+
+// Stats snapshots the process-wide engine's dispatch statistics.
+func Stats() EngineStats { return defaultEngine.Stats() }

@@ -249,11 +249,13 @@ func (f *BCSR) SpMVParallel(x, y []float64, workers int) {
 		f.blockRowRange(x, y, 0, f.blockRows)
 		return
 	}
-	pl := f.plans.Get(workers, func(p int) *exec.Plan {
-		return &exec.Plan{Ranges: sched.NNZBalanced(f.rowPtr, p)}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		return &exec.Plan{Ranges: sched.DomainSplit(f.rowPtr, k.Domains, k.Workers, sched.NNZBalanced)}
 	})
 	ranges := pl.Ranges
-	exec.Run(len(ranges), func(w int) {
+	g.Run(len(ranges), func(w int) {
 		f.blockRowRange(x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }

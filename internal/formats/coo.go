@@ -88,10 +88,12 @@ func (f *COO) SpMVParallel(x, y []float64, workers int) {
 		f.SpMV(x, y)
 		return
 	}
-	pl := f.plans.Get(workers, func(p int) *exec.Plan {
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
 		return &exec.Plan{Scratch: &cooScratch{
-			firstRow: make([]int32, p), lastRow: make([]int32, p),
-			firstSum: make([]float64, p), lastSum: make([]float64, p),
+			firstRow: make([]int32, k.Workers), lastRow: make([]int32, k.Workers),
+			firstSum: make([]float64, k.Workers), lastSum: make([]float64, k.Workers),
 		}}
 	})
 	sc := pl.Scratch.(*cooScratch)
@@ -107,7 +109,9 @@ func (f *COO) SpMVParallel(x, y []float64, workers int) {
 	}
 	zero(y)
 	rowIdx, colIdx, val := f.rowIdx, f.colIdx, f.val
-	exec.Run(workers, func(w int) {
+	// Entry chunks are contiguous and ordered, so consecutive worker ids —
+	// which a ganged dispatch groups by shard — walk adjacent slabs.
+	g.Run(workers, func(w int) {
 		lo := n * w / workers
 		hi := n * (w + 1) / workers
 		sc.firstRow[w], sc.lastRow[w] = -1, -1

@@ -80,7 +80,8 @@ func (f *CSR) SpMV(x, y []float64) {
 	csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows)
 }
 
-// SpMVParallel implements Format, splitting rows into equal-count blocks.
+// SpMVParallel implements Format, splitting rows into equal-count blocks
+// (per domain slice when the dispatch gangs across shards).
 func (f *CSR) SpMVParallel(x, y []float64, workers int) {
 	checkShape(f.Name(), f.rows, f.cols, x, y)
 	workers = exec.Workers(f.work(), workers)
@@ -88,11 +89,13 @@ func (f *CSR) SpMVParallel(x, y []float64, workers int) {
 		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows)
 		return
 	}
-	pl := f.plans.Get(workers, func(p int) *exec.Plan {
-		return &exec.Plan{Ranges: sched.RowBlocks(f.rowPtr, p)}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		return &exec.Plan{Ranges: sched.DomainSplit(f.rowPtr, k.Domains, k.Workers, sched.RowBlocks)}
 	})
 	ranges := pl.Ranges
-	exec.Run(len(ranges), func(w int) {
+	g.Run(len(ranges), func(w int) {
 		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }
@@ -183,11 +186,13 @@ func (f *VecCSR) SpMVParallel(x, y []float64, workers int) {
 		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows)
 		return
 	}
-	pl := f.plans.Get(workers, func(p int) *exec.Plan {
-		return &exec.Plan{Ranges: sched.RowBlocks(f.rowPtr, p)}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		return &exec.Plan{Ranges: sched.DomainSplit(f.rowPtr, k.Domains, k.Workers, sched.RowBlocks)}
 	})
 	ranges := pl.Ranges
-	exec.Run(len(ranges), func(w int) {
+	g.Run(len(ranges), func(w int) {
 		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }
@@ -220,11 +225,13 @@ func (f *BalCSR) SpMVParallel(x, y []float64, workers int) {
 		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows)
 		return
 	}
-	pl := f.plans.Get(workers, func(p int) *exec.Plan {
-		return &exec.Plan{Ranges: sched.NNZBalanced(f.rowPtr, p)}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		return &exec.Plan{Ranges: sched.DomainSplit(f.rowPtr, k.Domains, k.Workers, sched.NNZBalanced)}
 	})
 	ranges := pl.Ranges
-	exec.Run(len(ranges), func(w int) {
+	g.Run(len(ranges), func(w int) {
 		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }
@@ -294,14 +301,17 @@ func (f *InspectorCSR) SpMVParallel(x, y []float64, workers int) {
 		f.rowRange(x, y, 0, f.rows)
 		return
 	}
-	pl := f.plans.Get(workers, func(p int) *exec.Plan {
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		policy := sched.Partitioner(sched.RowBlocks)
 		if f.balance {
-			return &exec.Plan{Ranges: sched.NNZBalanced(f.rowPtr, p)}
+			policy = sched.NNZBalanced
 		}
-		return &exec.Plan{Ranges: sched.RowBlocks(f.rowPtr, p)}
+		return &exec.Plan{Ranges: sched.DomainSplit(f.rowPtr, k.Domains, k.Workers, policy)}
 	})
 	ranges := pl.Ranges
-	exec.Run(len(ranges), func(w int) {
+	g.Run(len(ranges), func(w int) {
 		f.rowRange(x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }

@@ -235,7 +235,13 @@ func (f *CSR5) SpMVParallel(x, y []float64, workers int) {
 		f.SpMV(x, y)
 		return
 	}
-	pl := f.plans.Get(workers, func(p int) *exec.Plan {
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		// The even tile split is already domain-contiguous: consecutive
+		// worker ids — grouped by shard under a ganged dispatch — own
+		// adjacent tile slabs, so no domain-aware re-split is needed.
+		p := k.Workers
 		sc := &csr5Scratch{
 			tLo: make([]int, p), tHi: make([]int, p),
 			carryRow: make([]int32, p), minSeg: make([]int32, p),
@@ -262,7 +268,7 @@ func (f *CSR5) SpMVParallel(x, y []float64, workers int) {
 		carry = make([]float64, workers)
 	}
 	zero(y)
-	exec.Run(workers, func(w int) {
+	g.Run(workers, func(w int) {
 		carry[w] = f.processTiles(x, y, sc.tLo[w], sc.tHi[w], sc.carryRow[w], sc.minSeg[w])
 	})
 	for w := 0; w < workers; w++ {

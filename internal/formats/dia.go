@@ -140,11 +140,13 @@ func (f *DIA) SpMVParallel(x, y []float64, workers int) {
 		f.rowRange(x, y, 0, f.rows)
 		return
 	}
-	pl := f.plans.Get(workers, func(p int) *exec.Plan {
-		return &exec.Plan{Ranges: sched.EvenRows(f.rows, p)}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		return &exec.Plan{Ranges: sched.DomainEvenRows(f.rows, k.Domains, k.Workers)}
 	})
 	ranges := pl.Ranges
-	exec.Run(len(ranges), func(w int) {
+	g.Run(len(ranges), func(w int) {
 		f.rowRange(x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }

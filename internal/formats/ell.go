@@ -128,11 +128,13 @@ func (f *ELL) SpMVParallel(x, y []float64, workers int) {
 		f.rowRange(x, y, 0, f.rows)
 		return
 	}
-	pl := f.plans.Get(workers, func(p int) *exec.Plan {
-		return &exec.Plan{Ranges: sched.EvenRows(f.rows, p)}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		return &exec.Plan{Ranges: sched.DomainEvenRows(f.rows, k.Domains, k.Workers)}
 	})
 	ranges := pl.Ranges
-	exec.Run(len(ranges), func(w int) {
+	g.Run(len(ranges), func(w int) {
 		f.rowRange(x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }
@@ -279,8 +281,10 @@ func (f *COO) spmvAddParallel(x, y []float64, workers int) {
 		f.spmvAddSerial(x, y)
 		return
 	}
-	pl := f.addPlans.Get(workers, func(p int) *exec.Plan {
-		return &exec.Plan{Scratch: &cooAddScratch{carries: make([][]cooCarry, p)}}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.addPlans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		return &exec.Plan{Scratch: &cooAddScratch{carries: make([][]cooCarry, k.Workers)}}
 	})
 	sc := pl.Scratch.(*cooAddScratch)
 	if pl.TryLock() {
@@ -291,7 +295,7 @@ func (f *COO) spmvAddParallel(x, y []float64, workers int) {
 		sc = &cooAddScratch{carries: make([][]cooCarry, workers)}
 	}
 	rowIdx, colIdx, val := f.rowIdx, f.colIdx, f.val
-	exec.Run(workers, func(w int) {
+	g.Run(workers, func(w int) {
 		lo := n * w / workers
 		hi := n * (w + 1) / workers
 		local := sc.carries[w][:0]

@@ -44,8 +44,13 @@ func (f *MergeCSR) SpMVParallel(x, y []float64, workers int) {
 		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows)
 		return
 	}
-	pl := f.plans.Get(workers, func(p int) *exec.Plan {
-		ranges := sched.MergePath(f.rowPtr, p)
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		// Domain slices cut on whole-row boundaries, so a ganged dispatch
+		// never carries a partial sum across shards; the merge-path split
+		// runs within each domain's slice.
+		ranges := sched.DomainSplit(f.rowPtr, k.Domains, k.Workers, sched.MergePath)
 		return &exec.Plan{Ranges: ranges, Scratch: &mergeScratch{
 			row: make([]int32, len(ranges)),
 			sum: make([]float64, len(ranges)),
@@ -61,7 +66,7 @@ func (f *MergeCSR) SpMVParallel(x, y []float64, workers int) {
 		sc = &mergeScratch{row: make([]int32, len(ranges)), sum: make([]float64, len(ranges))}
 	}
 	rowPtr, colIdx, val := f.rowPtr, f.colIdx, f.val
-	exec.Run(len(ranges), func(w int) {
+	g.Run(len(ranges), func(w int) {
 		r := ranges[w]
 		k := r.NNZLo
 		// Rows completed inside the range. The first row may have had its

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/matrix"
+	"repro/internal/sched"
 )
 
 // SELLCS is the SELL-C-sigma format (Kreutzer et al., SISC 2014): rows are
@@ -22,6 +23,7 @@ type SELLCS struct {
 	chunkLen   []int32 // padded row length of each chunk
 	colIdx     []int32
 	val        []float64
+	plans      exec.PlanCache
 }
 
 // Default SELL-C-sigma tuning, matching common CPU configurations.
@@ -40,7 +42,8 @@ func NewSELLCS(m *matrix.CSR, c, sigma int) (*SELLCS, error) {
 		// sorting windows.
 		sigma = ((sigma + c - 1) / c) * c
 	}
-	f := &SELLCS{rows: m.Rows, cols: m.Cols, c: c, sigma: sigma, nnz: int64(m.NNZ())}
+	f := &SELLCS{rows: m.Rows, cols: m.Cols, c: c, sigma: sigma, nnz: int64(m.NNZ()),
+		plans: exec.NewPlanCache()}
 
 	// Permutation: sort rows by descending length within sigma windows.
 	f.perm = make([]int32, m.Rows)
@@ -187,9 +190,16 @@ func (f *SELLCS) SpMVParallel(x, y []float64, workers int) {
 		f.SpMV(x, y)
 		return
 	}
-	exec.Run(workers, func(w int) {
-		lo := nChunks * w / workers
-		hi := nChunks * (w + 1) / workers
-		f.chunkRange(x, y, lo, hi)
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		// Ranges partition chunk indices here (RowLo/RowHi are chunk
+		// bounds): chunks are contiguous slabs of sigma-sorted rows, so
+		// the domain split hands each shard adjacent slabs.
+		return &exec.Plan{Ranges: sched.DomainEvenRows(nChunks, k.Domains, k.Workers)}
+	})
+	ranges := pl.Ranges
+	g.Run(len(ranges), func(w int) {
+		f.chunkRange(x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }

@@ -215,8 +215,16 @@ func (f *VSL) SpMVParallel(x, y []float64, workers int) {
 		f.SpMV(x, y)
 		return
 	}
-	pl := f.plans.Get(workers, func(p int) *exec.Plan {
-		sc := &vslScratch{partials: make([][]float64, p)}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	// Unlike the other formats, VSL deliberately keys its plan by worker
+	// count alone (AnyShard): the scratch is workers x rows of partial
+	// vectors, far too heavy to duplicate per placement. Shard-concurrent
+	// calls then share one plan and the loser of TryLock pays the private
+	// allocation — the right trade for megabyte-scale scratch.
+	key := exec.PlanKey{Shard: exec.AnyShard, Domains: 1, Workers: workers}
+	pl := f.plans.Get(key, func(k exec.PlanKey) *exec.Plan {
+		sc := &vslScratch{partials: make([][]float64, k.Workers)}
 		for w := range sc.partials {
 			sc.partials[w] = make([]float64, f.rows)
 		}
@@ -235,7 +243,7 @@ func (f *VSL) SpMVParallel(x, y []float64, workers int) {
 			partials[w] = make([]float64, f.rows)
 		}
 	}
-	exec.Run(workers, func(w int) {
+	g.Run(workers, func(w int) {
 		part := partials[w]
 		zero(part)
 		for ch := w; ch < f.channels; ch += workers {

@@ -1,0 +1,109 @@
+package sched
+
+// Domain-split partitioners: the two-level work distribution the sharded
+// execution engine uses when one SpMV call gang-schedules across several
+// topology domains. Rows are first sliced into `domains` contiguous spans
+// of near-equal nonzero count (always on whole-row boundaries, so no carry
+// ever crosses a domain), then the base policy splits each span among that
+// domain's share of the workers. The resulting ranges are ordered domain by
+// domain, matching the engine's id assignment: consecutive worker ids land
+// on one shard's workers, so each domain's slice of the matrix is walked by
+// the cores pinned to that domain.
+
+// Partitioner is a single-level row partition policy: RowBlocks,
+// NNZBalanced or MergePath.
+type Partitioner func(rowPtr []int32, p int) []Range
+
+// DomainSplit partitions rows over `domains` topology domains with
+// `workers` total workers, applying `inner` within each domain's slice.
+// domains <= 1 degenerates to the plain single-level policy, so kernels
+// can call it unconditionally. Fewer ranges than workers may be returned
+// (degenerate slices collapse, like the single-level policies); when that
+// happens under pathological skew the engine's gang id blocks — computed
+// arithmetically as workers*j/domains — shift relative to the collapsed
+// range list, so a slice may execute on a neighboring domain's shard.
+// Results stay correct; only placement degrades, and only for matrices
+// whose skew already defeats per-domain balancing.
+func DomainSplit(rowPtr []int32, domains, workers int, inner Partitioner) []Range {
+	if workers < 1 {
+		workers = 1
+	}
+	if domains > workers {
+		domains = workers
+	}
+	if domains <= 1 {
+		return inner(rowPtr, workers)
+	}
+	slices := NNZBalanced(rowPtr, domains)
+	d := len(slices) // heavy skew can collapse domain slices
+	if d <= 1 {
+		return inner(rowPtr, workers)
+	}
+	out := make([]Range, 0, workers)
+	for i, s := range slices {
+		p := workers*(i+1)/d - workers*i/d // fair share of the workers
+		if p < 1 {
+			p = 1
+		}
+		for _, r := range inner(rebase(rowPtr, s), p) {
+			if r.RowLo == r.RowHi && r.NNZLo == r.NNZHi {
+				continue // empty slice artifact
+			}
+			out = append(out, Range{
+				RowLo: r.RowLo + s.RowLo, RowHi: r.RowHi + s.RowLo,
+				NNZLo: r.NNZLo + s.NNZLo, NNZHi: r.NNZHi + s.NNZLo,
+			})
+		}
+	}
+	return out
+}
+
+// rebase copies the row-pointer span covered by s into a zero-based
+// sub-array, the shape every Partitioner expects. DomainSplit runs once per
+// placement at plan-build time, so the copy is never on a kernel path.
+func rebase(rowPtr []int32, s Range) []int32 {
+	sub := make([]int32, s.Rows()+1)
+	base := rowPtr[s.RowLo]
+	for i := range sub {
+		sub[i] = rowPtr[s.RowLo+i] - base
+	}
+	return sub
+}
+
+// DomainEvenRows is the domain-split counterpart of EvenRows, for formats
+// whose per-row work is uniform by construction (ELL, DIA): rows are cut
+// into `domains` contiguous near-equal spans, each split evenly among its
+// share of the workers. Like EvenRows, the NNZ fields count rows.
+func DomainEvenRows(rows, domains, workers int) []Range {
+	if workers < 1 {
+		workers = 1
+	}
+	if domains > workers {
+		domains = workers
+	}
+	if domains <= 1 {
+		return EvenRows(rows, workers)
+	}
+	if rows == 0 {
+		return []Range{{0, 0, 0, 0}}
+	}
+	out := make([]Range, 0, workers)
+	for i := 0; i < domains; i++ {
+		dLo := rows * i / domains
+		dHi := rows * (i + 1) / domains
+		p := workers*(i+1)/domains - workers*i/domains
+		if p < 1 {
+			p = 1
+		}
+		for _, r := range EvenRows(dHi-dLo, p) {
+			if r.RowLo == r.RowHi {
+				continue
+			}
+			out = append(out, Range{
+				RowLo: r.RowLo + dLo, RowHi: r.RowHi + dLo,
+				NNZLo: r.NNZLo + int64(dLo), NNZHi: r.NNZHi + int64(dLo),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package sched
+
+import "testing"
+
+var domainCounts = []int{1, 2, 3, 4, 8}
+
+// TestDomainSplitRowGranularProperties: with a row-granular inner policy,
+// a domain-split partition must satisfy the same contract as the
+// single-level policy — contiguous full-row coverage, row-pointer
+// consistency, NNZ conservation — for every domain count.
+func TestDomainSplitRowGranularProperties(t *testing.T) {
+	inners := map[string]Partitioner{"RowBlocks": RowBlocks, "NNZBalanced": NNZBalanced}
+	for shape, lens := range propertyShapes() {
+		ptr := rowPtrFrom(lens)
+		for innerName, inner := range inners {
+			for _, d := range domainCounts {
+				for _, p := range propertyWorkerCounts {
+					ranges := DomainSplit(ptr, d, p, inner)
+					checkRowGranular(t, "DomainSplit/"+innerName, shape, ptr, p, ranges)
+				}
+			}
+		}
+	}
+}
+
+// TestDomainSplitMergePathProperties: with the item-granular inner policy,
+// coverage and contiguity must hold globally (domain boundaries are
+// whole-row cuts, so the merge path restarts cleanly at each).
+func TestDomainSplitMergePathProperties(t *testing.T) {
+	for shape, lens := range propertyShapes() {
+		ptr := rowPtrFrom(lens)
+		rows := len(ptr) - 1
+		nnz := int64(ptr[rows])
+		for _, d := range domainCounts {
+			for _, p := range propertyWorkerCounts {
+				ranges := DomainSplit(ptr, d, p, MergePath)
+				if len(ranges) == 0 {
+					t.Fatalf("%s d=%d p=%d: no ranges", shape, d, p)
+				}
+				if len(ranges) > max(p, 1) {
+					t.Errorf("%s d=%d p=%d: %d ranges exceed worker count", shape, d, p, len(ranges))
+				}
+				if ranges[0].RowLo != 0 || ranges[0].NNZLo != 0 {
+					t.Errorf("%s d=%d p=%d: first range not at origin: %+v", shape, d, p, ranges[0])
+				}
+				last := ranges[len(ranges)-1]
+				if rows > 0 && (last.RowHi != rows || last.NNZHi != nnz) {
+					t.Errorf("%s d=%d p=%d: last range ends at (%d,%d), want (%d,%d)",
+						shape, d, p, last.RowHi, last.NNZHi, rows, nnz)
+				}
+				var work int64
+				for i, r := range ranges {
+					if r.RowLo > r.RowHi || r.NNZLo > r.NNZHi {
+						t.Errorf("%s d=%d p=%d: range %d not monotone: %+v", shape, d, p, i, r)
+					}
+					if i > 0 && (ranges[i-1].RowHi != r.RowLo || ranges[i-1].NNZHi != r.NNZLo) {
+						t.Errorf("%s d=%d p=%d: discontiguous at range %d", shape, d, p, i)
+					}
+					work += int64(r.Rows()) + r.NNZ()
+				}
+				if rows > 0 && work != int64(rows)+nnz {
+					t.Errorf("%s d=%d p=%d: work not conserved: %d, want %d",
+						shape, d, p, work, int64(rows)+nnz)
+				}
+			}
+		}
+	}
+}
+
+// TestDomainSplitAlignsDomainBoundaries: each domain boundary of the
+// two-level partition must coincide with a boundary of the standalone
+// domain slicing, so a ganged dispatch really hands each shard a
+// contiguous whole-row slab.
+func TestDomainSplitAlignsDomainBoundaries(t *testing.T) {
+	lens := propertyShapes()["uniform"]
+	ptr := rowPtrFrom(lens)
+	const d, workers = 4, 8
+	slices := NNZBalanced(ptr, d)
+	ranges := DomainSplit(ptr, d, workers, RowBlocks)
+	cuts := map[int]bool{}
+	for _, r := range ranges {
+		cuts[r.RowLo] = true
+	}
+	for _, s := range slices {
+		if !cuts[s.RowLo] {
+			t.Errorf("domain slice start row %d is not a range boundary", s.RowLo)
+		}
+	}
+}
+
+// TestDomainSplitSingleDomainMatchesInner: domains <= 1 must be byte-for-
+// byte the single-level policy, the invariant that keeps single-shard
+// dispatch identical to the pre-shard engine.
+func TestDomainSplitSingleDomainMatchesInner(t *testing.T) {
+	for shape, lens := range propertyShapes() {
+		ptr := rowPtrFrom(lens)
+		for _, p := range propertyWorkerCounts {
+			got := DomainSplit(ptr, 1, p, NNZBalanced)
+			want := NNZBalanced(ptr, p)
+			if len(got) != len(want) {
+				t.Fatalf("%s p=%d: %d ranges, want %d", shape, p, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("%s p=%d: range %d = %+v, want %+v", shape, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDomainEvenRowsProperties(t *testing.T) {
+	for _, rows := range []int{0, 1, 2, 5, 63, 64, 1000} {
+		for _, d := range domainCounts {
+			for _, p := range propertyWorkerCounts {
+				ranges := DomainEvenRows(rows, d, p)
+				if len(ranges) == 0 {
+					t.Fatalf("rows=%d d=%d p=%d: no ranges", rows, d, p)
+				}
+				if len(ranges) > max(p, 1) {
+					t.Errorf("rows=%d d=%d p=%d: %d ranges exceed worker count", rows, d, p, len(ranges))
+				}
+				if ranges[0].RowLo != 0 || ranges[len(ranges)-1].RowHi != rows {
+					t.Errorf("rows=%d d=%d p=%d: span [%d,%d), want [0,%d)", rows, d, p,
+						ranges[0].RowLo, ranges[len(ranges)-1].RowHi, rows)
+				}
+				for i, r := range ranges {
+					if i > 0 && ranges[i-1].RowHi != r.RowLo {
+						t.Errorf("rows=%d d=%d p=%d: gap at range %d", rows, d, p, i)
+					}
+					if rows > 0 && r.Rows() == 0 {
+						t.Errorf("rows=%d d=%d p=%d: empty range %d", rows, d, p, i)
+					}
+				}
+			}
+		}
+	}
+}

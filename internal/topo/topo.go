@@ -1,0 +1,170 @@
+// Package topo detects the machine's memory-domain topology and decides how
+// many execution-pool shards the SpMV engine should run.
+//
+// The paper's central claim is that SpMV performance is governed by the
+// interaction of matrix features with device topology: memory domains,
+// core counts and the bandwidth between them. On Linux the package reads
+// the NUMA layout from /sys/devices/system/node; everywhere else (and when
+// sysfs is absent, as in many containers) it falls back to a single domain
+// spanning the whole machine, so callers never need a platform branch.
+//
+// The shard count the execution engine uses resolves in three steps, most
+// specific first:
+//
+//  1. a programmatic SetShards override (tests, servers tuning at runtime),
+//  2. the SPMV_SHARDS environment variable,
+//  3. the detected domain count.
+package topo
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Domain is one memory/compute locality domain — a NUMA node on Linux, the
+// whole machine under the portable fallback.
+type Domain struct {
+	// ID is the platform domain identifier (NUMA node number).
+	ID int
+	// CPUs lists the logical CPUs belonging to the domain; empty when the
+	// platform cannot say, in which case sizing falls back to GOMAXPROCS.
+	CPUs []int
+}
+
+var (
+	shardOverride atomic.Int64
+
+	detectOnce sync.Once
+	detected   []Domain
+
+	envOnce   sync.Once
+	envShards int
+)
+
+// Domains returns the machine's locality domains, detected once and cached.
+// There is always at least one domain.
+func Domains() []Domain {
+	detectOnce.Do(func() {
+		detected = detect()
+		if len(detected) == 0 {
+			detected = fallbackDomains()
+		}
+	})
+	return detected
+}
+
+// NumDomains returns the number of detected locality domains.
+func NumDomains() int { return len(Domains()) }
+
+// Shards returns the execution-pool shard count: the SetShards override if
+// one is active, else SPMV_SHARDS, else the detected domain count. The
+// result is always at least 1.
+func Shards() int {
+	if n := shardOverride.Load(); n > 0 {
+		return int(n)
+	}
+	envOnce.Do(func() { envShards = parseShardCount(os.Getenv("SPMV_SHARDS")) })
+	if envShards > 0 {
+		return envShards
+	}
+	return NumDomains()
+}
+
+// SetShards overrides the shard count; n <= 0 removes the override,
+// restoring the SPMV_SHARDS / detected default. It returns the previous
+// override (0 if none) so callers can restore it.
+func SetShards(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(shardOverride.Swap(int64(n)))
+}
+
+// parseShardCount parses a shard-count override string; malformed or
+// non-positive values mean "no override" (0).
+func parseShardCount(s string) int {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+}
+
+// Assign maps `shards` execution-pool shards onto the detected domains.
+// Shards are distributed round-robin; when more shards than domains are
+// requested (oversharding, or the single-domain fallback) each domain's
+// CPUs are divided among the shards sharing it, so per-shard sizing hints
+// stay meaningful.
+func Assign(shards int) []Domain {
+	if shards < 1 {
+		shards = 1
+	}
+	doms := Domains()
+	n := len(doms)
+	out := make([]Domain, shards)
+	for i := range out {
+		out[i] = doms[i%n]
+	}
+	if shards <= n {
+		return out
+	}
+	for di := 0; di < n; di++ {
+		// Shards di, di+n, di+2n, ... share domain di.
+		share := (shards - di + n - 1) / n
+		cpus := doms[di].CPUs
+		if share <= 1 || len(cpus) == 0 {
+			continue
+		}
+		for k := 0; k < share; k++ {
+			lo := len(cpus) * k / share
+			hi := len(cpus) * (k + 1) / share
+			out[di+k*n].CPUs = cpus[lo:hi]
+		}
+	}
+	return out
+}
+
+// fallbackDomains is the portable topology: one domain spanning every CPU.
+func fallbackDomains() []Domain {
+	cpus := make([]int, runtime.NumCPU())
+	for i := range cpus {
+		cpus[i] = i
+	}
+	return []Domain{{ID: 0, CPUs: cpus}}
+}
+
+// parseCPUList parses a sysfs CPU/node list such as "0-3,8,10-11" into the
+// expanded id slice. Malformed fields are skipped; an unparsable string
+// yields nil.
+func parseCPUList(s string) []int {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(field, "-"); ok {
+			a, errA := strconv.Atoi(lo)
+			b, errB := strconv.Atoi(hi)
+			if errA != nil || errB != nil || b < a {
+				continue
+			}
+			for id := a; id <= b; id++ {
+				out = append(out, id)
+			}
+			continue
+		}
+		if id, err := strconv.Atoi(field); err == nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+//go:build linux
+
+package topo
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"syscall"
+	"unsafe"
+)
+
+// nodeRoot is the sysfs NUMA topology directory. A variable so tests can
+// point detection at a synthetic tree.
+var nodeRoot = "/sys/devices/system/node"
+
+// detect reads the online NUMA nodes and their CPU lists from sysfs. Any
+// failure (sysfs unmounted, restricted container) degrades to the portable
+// single-domain fallback rather than an error: topology awareness is an
+// optimization, never a requirement.
+func detect() []Domain {
+	online, err := os.ReadFile(nodeRoot + "/online")
+	if err != nil {
+		return fallbackDomains()
+	}
+	ids := parseCPUList(string(online))
+	if len(ids) == 0 {
+		return fallbackDomains()
+	}
+	doms := make([]Domain, 0, len(ids))
+	for _, id := range ids {
+		var cpus []int
+		if cl, err := os.ReadFile(fmt.Sprintf("%s/node%d/cpulist", nodeRoot, id)); err == nil {
+			cpus = parseCPUList(string(cl))
+		}
+		if len(cpus) == 0 {
+			// Memory-only node (CXL/HBM expansion, ACPI quirk): it has no
+			// cores to pin a shard's workers to, so treating it as an
+			// execution domain would hand an equal matrix slice to workers
+			// contending for some other domain's CPUs. Execution topology
+			// only counts nodes that can compute.
+			continue
+		}
+		doms = append(doms, Domain{ID: id, CPUs: cpus})
+	}
+	if len(doms) == 0 {
+		return fallbackDomains()
+	}
+	return doms
+}
+
+// maxPinCPUs bounds the affinity mask; CPUs beyond it are ignored.
+const maxPinCPUs = 1024
+
+// PinSelf restricts the calling thread to the given CPUs via
+// sched_setaffinity, as a best-effort locality hint for pool workers. The
+// caller must hold runtime.LockOSThread for the pin to stick to its
+// goroutine; an empty CPU list is a no-op. Errors (seccomp-filtered
+// syscall, restricted cpuset) are returned for logging but are safe to
+// ignore: execution stays correct, only placement is lost.
+func PinSelf(cpus []int) error {
+	if len(cpus) == 0 {
+		return nil
+	}
+	var mask [maxPinCPUs / 64]uint64
+	for _, c := range cpus {
+		if c >= 0 && c < maxPinCPUs {
+			mask[c/64] |= 1 << (c % 64)
+		}
+	}
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	runtime.KeepAlive(&mask)
+	if errno != 0 {
+		return fmt.Errorf("topo: sched_setaffinity(%s): %w",
+			strings.Trim(fmt.Sprint(cpus), "[]"), errno)
+	}
+	return nil
+}

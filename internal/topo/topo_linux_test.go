@@ -1,0 +1,110 @@
+//go:build linux
+
+package topo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeNodeTree builds a synthetic sysfs node directory.
+func writeNodeTree(t *testing.T, online string, cpulists map[int]string) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "online"), []byte(online), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for id, cl := range cpulists {
+		dir := filepath.Join(root, "node"+itoa(id))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "cpulist"), []byte(cl), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestDetectReadsSysfs(t *testing.T) {
+	prev := nodeRoot
+	defer func() { nodeRoot = prev }()
+
+	nodeRoot = writeNodeTree(t, "0-1\n", map[int]string{0: "0-3\n", 1: "4-7\n"})
+	doms := detect()
+	if len(doms) != 2 {
+		t.Fatalf("detect() found %d domains, want 2", len(doms))
+	}
+	if doms[0].ID != 0 || doms[1].ID != 1 {
+		t.Fatalf("domain ids %d,%d, want 0,1", doms[0].ID, doms[1].ID)
+	}
+	if len(doms[0].CPUs) != 4 || doms[0].CPUs[0] != 0 || doms[0].CPUs[3] != 3 {
+		t.Fatalf("node0 CPUs = %v, want 0-3", doms[0].CPUs)
+	}
+	if len(doms[1].CPUs) != 4 || doms[1].CPUs[0] != 4 {
+		t.Fatalf("node1 CPUs = %v, want 4-7", doms[1].CPUs)
+	}
+}
+
+func TestDetectFallsBackWhenSysfsAbsent(t *testing.T) {
+	prev := nodeRoot
+	defer func() { nodeRoot = prev }()
+
+	nodeRoot = filepath.Join(t.TempDir(), "does-not-exist")
+	doms := detect()
+	if len(doms) != 1 || doms[0].ID != 0 {
+		t.Fatalf("detect() without sysfs = %v, want single-domain fallback", doms)
+	}
+}
+
+func TestDetectDropsMemoryOnlyNodes(t *testing.T) {
+	prev := nodeRoot
+	defer func() { nodeRoot = prev }()
+
+	// node1 has no cpulist (a memory-only CXL/HBM node): it must not become
+	// an execution domain.
+	nodeRoot = writeNodeTree(t, "0-1", map[int]string{0: "0-1"})
+	doms := detect()
+	if len(doms) != 1 || doms[0].ID != 0 {
+		t.Fatalf("detect() = %v, want only the CPU-bearing node0", doms)
+	}
+
+	// All nodes memory-only degrades to the whole-machine fallback.
+	nodeRoot = writeNodeTree(t, "0-1", map[int]string{})
+	doms = detect()
+	if len(doms) != 1 || len(doms[0].CPUs) == 0 {
+		t.Fatalf("detect() with no CPU-bearing nodes = %v, want fallback", doms)
+	}
+}
+
+func TestPinSelfEmptyIsNoOp(t *testing.T) {
+	if err := PinSelf(nil); err != nil {
+		t.Fatalf("PinSelf(nil) = %v, want nil", err)
+	}
+}
+
+func TestPinSelfToOwnCPUSucceeds(t *testing.T) {
+	// Pinning to every currently-online CPU of domain 0 must succeed (it is
+	// a superset or equal of the current affinity mask in any environment
+	// that lets us read sysfs).
+	doms := Domains()
+	if len(doms[0].CPUs) == 0 {
+		t.Skip("no CPU list detected")
+	}
+	if err := PinSelf(doms[0].CPUs); err != nil {
+		t.Skipf("sched_setaffinity unavailable here: %v", err)
+	}
+}

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package topo
+
+import "errors"
+
+// detect has no portable topology source off Linux; every platform gets the
+// single-domain fallback.
+func detect() []Domain { return fallbackDomains() }
+
+// PinSelf is unsupported off Linux; callers treat pinning as a best-effort
+// hint, so the error is informational.
+func PinSelf(cpus []int) error {
+	if len(cpus) == 0 {
+		return nil
+	}
+	return errors.ErrUnsupported
+}

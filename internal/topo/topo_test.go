@@ -1,0 +1,110 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"0", []int{0}},
+		{"0-3", []int{0, 1, 2, 3}},
+		{"0-3,8,10-11", []int{0, 1, 2, 3, 8, 10, 11}},
+		{" 0-1 \n", []int{0, 1}},
+		{"7,5", []int{7, 5}},
+		{"", nil},
+		{"garbage", nil},
+		{"3-1", nil}, // inverted range skipped
+		{"0,x,2", []int{0, 2}},
+	}
+	for _, c := range cases {
+		if got := parseCPUList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseCPUList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseShardCount(t *testing.T) {
+	cases := map[string]int{
+		"4": 4, "1": 1, " 2 ": 2,
+		"0": 0, "-3": 0, "": 0, "two": 0, "1.5": 0,
+	}
+	for in, want := range cases {
+		if got := parseShardCount(in); got != want {
+			t.Errorf("parseShardCount(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestShardsOverridePrecedence(t *testing.T) {
+	prev := SetShards(3)
+	defer SetShards(prev)
+	if got := Shards(); got != 3 {
+		t.Fatalf("Shards() with override 3 = %d", got)
+	}
+	SetShards(0) // remove the override: fall back to env/detected
+	if got := Shards(); got < 1 {
+		t.Fatalf("Shards() without override = %d, want >= 1", got)
+	}
+	if got := SetShards(5); got != 0 {
+		t.Fatalf("SetShards returned previous override %d, want 0", got)
+	}
+}
+
+func TestDomainsNeverEmpty(t *testing.T) {
+	doms := Domains()
+	if len(doms) < 1 {
+		t.Fatalf("Domains() = %v, want at least one domain", doms)
+	}
+	if NumDomains() != len(doms) {
+		t.Fatalf("NumDomains() = %d, len(Domains()) = %d", NumDomains(), len(doms))
+	}
+}
+
+func TestAssignRoundRobinAndCPUSplit(t *testing.T) {
+	doms := Domains()
+	// One shard per domain: identity.
+	as := Assign(len(doms))
+	for i, d := range as {
+		if d.ID != doms[i].ID {
+			t.Fatalf("Assign(%d)[%d].ID = %d, want %d", len(doms), i, d.ID, doms[i].ID)
+		}
+	}
+	// Oversharding: every shard still gets a domain, and the shards sharing
+	// one domain partition (not duplicate) its CPUs.
+	n := 2*len(doms) + 1
+	as = Assign(n)
+	if len(as) != n {
+		t.Fatalf("Assign(%d) returned %d shards", n, len(as))
+	}
+	seen := map[int]int{} // CPU -> times assigned
+	for i, d := range as {
+		if d.ID != doms[i%len(doms)].ID {
+			t.Errorf("shard %d on domain %d, want round-robin %d", i, d.ID, doms[i%len(doms)].ID)
+		}
+		for _, c := range d.CPUs {
+			seen[c]++
+		}
+	}
+	for c, k := range seen {
+		if k > 1 {
+			t.Errorf("CPU %d assigned to %d shards, want at most 1", c, k)
+		}
+	}
+	if got := Assign(0); len(got) != 1 {
+		t.Errorf("Assign(0) = %d shards, want 1", len(got))
+	}
+}
+
+func TestFallbackDomainsSpanMachine(t *testing.T) {
+	doms := fallbackDomains()
+	if len(doms) != 1 || doms[0].ID != 0 {
+		t.Fatalf("fallbackDomains() = %v, want one domain with ID 0", doms)
+	}
+	if len(doms[0].CPUs) < 1 {
+		t.Fatalf("fallback domain has no CPUs")
+	}
+}

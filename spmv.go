@@ -1,13 +1,16 @@
 // Package spmv is the public facade of this repository: a feature-based
 // SpMV performance-analysis toolkit reproducing Mpakos et al., "Feature-
-// based SpMV Performance Analysis on Contemporary Devices" (IPDPS 2023).
+// based SpMV Performance Analysis on Contemporary Devices" (IPDPS 2023;
+// DBLP key conf/ipps/MpakosGAPKG23).
 //
 // It re-exports the stable surface of the internal packages:
 //
 //   - sparse matrices (CSR/COO, MatrixMarket I/O) and the five-feature
 //     extraction of Section III-A;
 //   - the artificial matrix generator of Section III-B;
-//   - fourteen storage formats with serial and parallel SpMV kernels;
+//   - fourteen storage formats with serial and parallel SpMV kernels,
+//     dispatched on a sharded, topology-aware execution engine (one
+//     persistent worker-pool shard per memory domain; see internal/exec);
 //   - analytical models of the paper's nine testbeds, plus a native engine
 //     measuring real kernels on the host CPU;
 //   - the experiment harness regenerating every table and figure of the
