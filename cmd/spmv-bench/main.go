@@ -15,14 +15,20 @@
 //	-seed N                       sampling/generator seed
 //	-shards N                     execution-pool shards (0 = SPMV_SHARDS or
 //	                              detected topology domains)
+//	-rhs K                        right-hand sides for the spmm experiment;
+//	                              giving the flag with no experiment ids runs
+//	                              spmm alone
 //	-csv DIR                      also write one CSV per report into DIR
 //	-json FILE                    also write all reports as JSON into FILE
 //
 // The JSON output is the machine-readable perf trajectory: for example,
 // `spmv-bench -sample 8 -json BENCH_spmv.json native` records the native
-// per-format GFLOPS quartiles measured on this host. Every run appends a
-// "shards" report with the execution engine's per-shard dispatch counts and
-// busy time, so concurrency behavior is visible alongside kernel numbers.
+// per-format GFLOPS quartiles measured on this host, and
+// `spmv-bench -rhs 8 -json BENCH_spmm.json` records the fused multi-vector
+// kernels' per-vector speedup over 8 sequential Multiply calls. Every run
+// appends a "shards" report with the execution engine's per-shard dispatch
+// counts and busy time, so concurrency behavior is visible alongside
+// kernel numbers.
 package main
 
 import (
@@ -45,6 +51,7 @@ func main() {
 		devices = flag.String("devices", "", "comma-separated testbed names (default: all)")
 		seed    = flag.Int64("seed", 1, "sampling and generator seed")
 		shards  = flag.Int("shards", 0, "execution-pool shards (0 = SPMV_SHARDS or detected topology domains)")
+		rhs     = flag.Int("rhs", 0, "right-hand sides for the spmm experiment (0 = default 8)")
 		csvDir  = flag.String("csv", "", "directory to also write CSV reports into")
 		jsonOut = flag.String("json", "", "file to also write all reports into as JSON")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
@@ -80,8 +87,15 @@ func main() {
 		fatalf("bad -shards %d (want >= 0)", *shards)
 	}
 	topo.SetShards(*shards)
+	if *rhs < 0 {
+		fatalf("bad -rhs %d (want >= 0)", *rhs)
+	}
+	opts.RHS = *rhs
 
 	ids := flag.Args()
+	if len(ids) == 0 && *rhs > 0 {
+		ids = []string{"spmm"} // -rhs alone means: run the multi-vector benchmark
+	}
 	if len(ids) == 0 {
 		fatalf("no experiments given; use 'all' or see -list")
 	}

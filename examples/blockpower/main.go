@@ -1,0 +1,131 @@
+// Block power iteration: the multi-vector workload MultiplyMany exists
+// for. Subspace iteration on k vectors computes the k dominant
+// eigenpairs of a symmetric operator — the block analogue of the power
+// method used by spectral solvers, PageRank-style rankings and Lanczos
+// warm starts — and its inner loop is exactly one SpMM per iteration:
+// Y = A*X, re-orthonormalize, repeat. Because the k vectors multiply
+// through the matrix together, the fused kernels read every nonzero once
+// per iteration instead of k times; the example reports that speedup
+// alongside the eigenvalue estimates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/formats"
+	"repro/internal/matrix"
+)
+
+func main() {
+	var (
+		grid   = flag.Int("grid", 128, "Poisson grid side (matrix is grid^2 x grid^2)")
+		k      = flag.Int("k", 4, "subspace width (dominant eigenpairs to compute)")
+		iters  = flag.Int("iters", 120, "subspace iterations")
+		format = flag.String("format", "SELL-C-s", "storage format to run")
+	)
+	flag.Parse()
+
+	a := matrix.Laplacian2D(*grid, *grid)
+	n := a.Rows
+	fb, ok := formats.Lookup(*format)
+	if !ok {
+		log.Fatalf("unknown format %q", *format)
+	}
+	f, err := fb.Build(a)
+	if err != nil {
+		log.Fatalf("%s build: %v", *format, err)
+	}
+	fmt.Printf("block power iteration on %s (%d unknowns), %s format, k=%d\n\n",
+		a, n, f.Name(), *k)
+
+	// Random orthonormal start block, row-major: k values per row.
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n**k)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	orthonormalize(x, n, *k)
+
+	y := make([]float64, n**k)
+	var spmm time.Duration
+	for it := 1; it <= *iters; it++ {
+		t0 := time.Now()
+		f.MultiplyMany(y, x, *k)
+		spmm += time.Since(t0)
+		copy(x, y)
+		orthonormalize(x, n, *k)
+	}
+
+	// Rayleigh quotients lambda_j = x_j . A x_j (columns are unit norm)
+	// and residuals ||A x_j - lambda_j x_j||_2.
+	f.MultiplyMany(y, x, *k)
+	fmt.Println("  j  lambda_j    ||A v - lambda v||")
+	for j := 0; j < *k; j++ {
+		lambda, res := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			lambda += x[i**k+j] * y[i**k+j]
+		}
+		for i := 0; i < n; i++ {
+			d := y[i**k+j] - lambda*x[i**k+j]
+			res += d * d
+		}
+		fmt.Printf("%3d  %.6f    %.2e\n", j, lambda, math.Sqrt(res))
+	}
+
+	// The baseline this fused loop replaces: k sequential Multiply calls
+	// per iteration over the same engine.
+	xs := make([][]float64, *k)
+	ys := make([][]float64, *k)
+	for j := 0; j < *k; j++ {
+		xs[j] = make([]float64, n)
+		ys[j] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[j][i] = x[i**k+j]
+		}
+	}
+	workers := exec.MaxWorkers()
+	f.SpMVParallel(xs[0], ys[0], workers) // warm plans
+	t0 := time.Now()
+	for it := 0; it < *iters; it++ {
+		for j := 0; j < *k; j++ {
+			f.SpMVParallel(xs[j], ys[j], workers)
+		}
+	}
+	seq := time.Since(t0)
+	fmt.Printf("\n%d iterations: fused SpMM %.3fs, %d sequential SpMV %.3fs (%.2fx per-vector speedup)\n",
+		*iters, spmm.Seconds(), *k, seq.Seconds(), seq.Seconds()/spmm.Seconds())
+}
+
+// orthonormalize runs modified Gram-Schmidt over the k columns of the
+// row-major block (column j lives at x[i*k+j]), keeping the iteration a
+// proper subspace iteration rather than k coupled power methods.
+func orthonormalize(x []float64, n, k int) {
+	for j := 0; j < k; j++ {
+		for p := 0; p < j; p++ {
+			dot := 0.0
+			for i := 0; i < n; i++ {
+				dot += x[i*k+p] * x[i*k+j]
+			}
+			for i := 0; i < n; i++ {
+				x[i*k+j] -= dot * x[i*k+p]
+			}
+		}
+		norm := 0.0
+		for i := 0; i < n; i++ {
+			norm += x[i*k+j] * x[i*k+j]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			x[i*k+j] /= norm
+		}
+	}
+}

@@ -16,6 +16,7 @@ type Options struct {
 	Seed    int64    // sampling and generator seed
 	Devices []string // restrict to these testbeds (nil: all nine)
 	Workers int      // native engine worker count (0: GOMAXPROCS)
+	RHS     int      // right-hand sides for the spmm experiment (0: DefaultRHS)
 }
 
 // DefaultOptions runs the full medium (16200-point) dataset on all devices,
@@ -129,6 +130,7 @@ func Experiments() []Experiment {
 		{"fig8", "Dataset-size ablation on AMD-EPYC-24 (Fig 8)", RunFig8},
 		{"fig9", "Regularity evolution under fixed features (Fig 9)", RunFig9},
 		{"native", "Native-engine format comparison on this host", RunNative},
+		{"spmm", "Fused multi-vector SpMV (SpMM) vs sequential baseline", RunSpMM},
 	}
 }
 

@@ -42,6 +42,13 @@ type PlanKey struct {
 type Plan struct {
 	// Ranges is the cached partition; one entry per worker.
 	Ranges []sched.Range
+	// DomainOff, when non-nil, is the per-domain offset table of Ranges for
+	// a ganged placement: Ranges[DomainOff[j]:DomainOff[j+1]] belong to
+	// domain j (the j-th enlisted shard). Grant.RunPlan dispatches each
+	// domain's worker-id block by these offsets, so partitions that
+	// collapsed ranges under skew still execute on their own domain's
+	// shard. Plans without the table fall back to arithmetic id blocks.
+	DomainOff []int
 	// Scratch holds format-specific per-worker buffers.
 	Scratch any
 

@@ -226,8 +226,53 @@ func (e *Engine) Acquire(workers int) Grant {
 // Run executes f(0..n-1) on the granted resources, waits for completion,
 // and releases every acquired shard. n at most g.workers; fewer (a
 // partition that collapsed ranges) is fine. Run consumes the grant: a
-// deferred Release afterwards is a no-op.
+// deferred Release afterwards is a no-op. Ganged dispatches block ids
+// arithmetically; kernels whose plan carries a per-domain offset table
+// should use RunPlan so collapsed partitions stay on their own domain.
 func (g *Grant) Run(n int, f func(w int)) {
+	g.run(n, nil, f)
+}
+
+// RunPlan executes f over a range-partitioned plan: f(0..len(pl.Ranges)-1),
+// with ganged dispatches blocked by the plan's DomainOff table when present
+// — range ids [DomainOff[j], DomainOff[j+1]) run on the j-th enlisted
+// shard, exactly the domain the plan builder assigned them to. Like Run it
+// waits, releases every acquired shard, and consumes the grant.
+func (g *Grant) RunPlan(pl *Plan, f func(w int)) {
+	g.run(len(pl.Ranges), pl.DomainOff, f)
+}
+
+// gangBlocks fills blk[0..nb] with the worker-id block bounds per enlisted
+// shard — shard j runs ids [blk[j], blk[j+1]) — and returns nb, the number
+// of blocks. With a plan offset table (len(off)-1 domain slices, at most
+// np), the blocks are the plan's own per-domain range groups; otherwise
+// they are the arithmetic split of `workers` ids used when building plans
+// for this placement. Bounds are clamped to n.
+func gangBlocks(np, workers, n int, off []int, blk *[maxGang + 1]int) int {
+	if len(off) >= 2 && len(off)-1 <= np {
+		nb := len(off) - 1
+		for j := 0; j <= nb; j++ {
+			b := off[j]
+			if b > n {
+				b = n
+			}
+			blk[j] = b
+		}
+		return nb
+	}
+	for j := 0; j <= np; j++ {
+		b := workers * j / np
+		if b > n {
+			b = n
+		}
+		blk[j] = b
+	}
+	return np
+}
+
+// run is the shared implementation of Run and RunPlan; off is the plan's
+// per-domain offset table or nil for arithmetic gang blocks.
+func (g *Grant) run(n int, off []int, f func(w int)) {
 	np := g.np
 	g.np = 0 // consumed; Release becomes a no-op
 	if np == 0 {
@@ -280,13 +325,16 @@ func (g *Grant) Run(n int, f func(w int)) {
 		return
 	}
 	// Ganged dispatch: shard j's workers take the consecutive id block
-	// [w*j/np, w*(j+1)/np) — the exact range block sched.DomainSplit hands
-	// domain j when building the plan for this placement (Domains=np,
-	// Workers=w) — so each domain's slice of the matrix is walked by the
-	// shard pinned to that domain. The caller runs id 0 as a lane of the
-	// first shard; ids a pool cannot wake (its parked workers are fewer
-	// than its share) are spawned so they still run concurrently.
-	w := g.workers
+	// gangBlocks assigns them — the plan's own per-domain range group when
+	// the plan carries an offset table, else the arithmetic block
+	// [w*j/np, w*(j+1)/np) that sched.DomainSplit produces for this
+	// placement (Domains=np, Workers=w) when no range collapses — so each
+	// domain's slice of the matrix is walked by the shard pinned to that
+	// domain. The caller runs id 0 as a lane of the first shard; ids a pool
+	// cannot wake (its parked workers are fewer than its share) are spawned
+	// so they still run concurrently.
+	var blk [maxGang + 1]int
+	nb := gangBlocks(np, g.workers, n, off, &blk)
 	t0 := time.Now()
 	var woken [maxGang]int
 	defer func() {
@@ -306,14 +354,11 @@ func (g *Grant) Run(n int, f func(w int)) {
 	// As with the drain defer above: a panicking caller lane must not leave
 	// spawned overflow goroutines still writing y after the call unwinds.
 	defer spawned.Wait()
-	for j := 0; j < np; j++ {
-		lo := w * j / np
-		hi := w * (j + 1) / np
+	for j := 0; j < nb; j++ {
+		lo := blk[j]
+		hi := blk[j+1]
 		if j == 0 {
 			lo = 1 // the caller runs id 0, a lane of the first shard
-		}
-		if hi > n {
-			hi = n // a collapsed partition produced fewer ranges
 		}
 		if lo >= hi {
 			continue

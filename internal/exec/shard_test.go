@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/sched"
 	"repro/internal/topo"
 )
 
@@ -314,6 +315,82 @@ func TestClosedPoolIsNeverResurrected(t *testing.T) {
 	}
 	if p.Size() != 0 {
 		t.Fatalf("closed pool restarted by Run: %d parked workers", p.Size())
+	}
+}
+
+// skewedRowPtr builds a CSR row-pointer array whose first row holds almost
+// every nonzero, the shape that collapses sched's domain slicing.
+func skewedRowPtr(rows, giant int) []int32 {
+	ptr := make([]int32, rows+1)
+	ptr[1] = int32(giant)
+	for i := 2; i <= rows; i++ {
+		ptr[i] = ptr[i-1] + 1
+	}
+	return ptr
+}
+
+// TestGangBlocksUsePlanOffsets is the gang-alignment regression (ROADMAP
+// follow-up): under a collapsed partition the dispatch blocks must come
+// from the plan's per-domain offset table, not the arithmetic
+// workers*j/np split, which would shift a domain's ranges onto a
+// neighboring shard.
+func TestGangBlocksUsePlanOffsets(t *testing.T) {
+	ptr := skewedRowPtr(12, 1_000_000)
+	const np, workers = 2, 6
+	ranges, off := sched.DomainSplitOff(ptr, np, workers, sched.NNZBalanced)
+	n := len(ranges)
+	if n >= workers {
+		t.Fatalf("skew did not collapse the partition: %d ranges for %d workers", n, workers)
+	}
+
+	var blk [maxGang + 1]int
+	nb := gangBlocks(np, workers, n, off, &blk)
+	if nb != len(off)-1 {
+		t.Fatalf("gangBlocks produced %d blocks, want %d (one per domain group)", nb, len(off)-1)
+	}
+	for j := 0; j < nb; j++ {
+		if blk[j] != off[j] || blk[j+1] != off[j+1] {
+			t.Errorf("block %d = [%d,%d), want the plan's [%d,%d)", j, blk[j], blk[j+1], off[j], off[j+1])
+		}
+	}
+
+	// The arithmetic fallback must disagree on this placement — otherwise
+	// the regression case has lost its teeth.
+	var arith [maxGang + 1]int
+	na := gangBlocks(np, workers, n, nil, &arith)
+	if na != np {
+		t.Fatalf("arithmetic gangBlocks produced %d blocks, want %d", na, np)
+	}
+	if arith[1] == blk[1] {
+		t.Fatalf("arithmetic block boundary %d coincides with the plan offset; pick a harsher skew", arith[1])
+	}
+}
+
+// TestRunPlanCollapsedGangCoverage: a ganged RunPlan over a collapsed,
+// offset-carrying plan must still execute every range id exactly once and
+// leave the engine reusable.
+func TestRunPlanCollapsedGangCoverage(t *testing.T) {
+	resetShards(t, 3)
+	Prestart()
+
+	lanes := 0
+	for _, s := range Stats().Shards {
+		lanes += s.Workers
+	}
+	workers := lanes + 1 // force a full gang across all three shards
+	ptr := skewedRowPtr(64, 1_000_000)
+	for i := 0; i < 5; i++ {
+		g := Acquire(workers)
+		np := g.Domains()
+		ranges, off := sched.DomainSplitOff(ptr, np, workers, sched.NNZBalanced)
+		pl := &Plan{Ranges: ranges, DomainOff: off}
+		counts := make([]int32, len(ranges))
+		g.RunPlan(pl, func(w int) { atomic.AddInt32(&counts[w], 1) })
+		for w, c := range counts {
+			if c != 1 {
+				t.Fatalf("iteration %d: range id %d ran %d times, want 1", i, w, c)
+			}
+		}
 	}
 }
 

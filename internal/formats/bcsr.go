@@ -235,10 +235,148 @@ func (f *BCSR) blockRowRange2x2(x, y []float64, lo, hi int) {
 	}
 }
 
+// blockRowRangeMulti2x2 is the fused register-blocked micro-kernel for the
+// default 2x2 geometry: per 4-vector tile both rows' partial sums live in
+// eight registers, and each block's four values load once to feed sixteen
+// FMAs.
+func (f *BCSR) blockRowRangeMulti2x2(x, y []float64, k, lo, hi int) {
+	rowPtr, blkCol, val := f.rowPtr, f.blkCol, f.val
+	cols := f.cols
+	for bi := lo; bi < hi; bi++ {
+		row := bi * 2
+		t := 0
+		for ; t+multiTile <= k; t += multiTile {
+			var s00, s01, s02, s03 float64
+			var s10, s11, s12, s13 float64
+			for b := int(rowPtr[bi]); b < int(rowPtr[bi+1]); b++ {
+				baseCol := int(blkCol[b]) * 2
+				off := b * 4
+				v0, v1, v2, v3 := val[off], val[off+1], val[off+2], val[off+3]
+				x0 := x[baseCol*k+t : baseCol*k+t+4 : baseCol*k+t+4]
+				if baseCol+2 <= cols {
+					x1 := x[(baseCol+1)*k+t : (baseCol+1)*k+t+4 : (baseCol+1)*k+t+4]
+					s00 += v0*x0[0] + v1*x1[0]
+					s01 += v0*x0[1] + v1*x1[1]
+					s02 += v0*x0[2] + v1*x1[2]
+					s03 += v0*x0[3] + v1*x1[3]
+					s10 += v2*x0[0] + v3*x1[0]
+					s11 += v2*x0[1] + v3*x1[1]
+					s12 += v2*x0[2] + v3*x1[2]
+					s13 += v2*x0[3] + v3*x1[3]
+				} else {
+					s00 += v0 * x0[0]
+					s01 += v0 * x0[1]
+					s02 += v0 * x0[2]
+					s03 += v0 * x0[3]
+					s10 += v2 * x0[0]
+					s11 += v2 * x0[1]
+					s12 += v2 * x0[2]
+					s13 += v2 * x0[3]
+				}
+			}
+			if row < f.rows {
+				yb := y[row*k+t : row*k+t+4 : row*k+t+4]
+				yb[0], yb[1], yb[2], yb[3] = s00, s01, s02, s03
+			}
+			if row+1 < f.rows {
+				yb := y[(row+1)*k+t : (row+1)*k+t+4 : (row+1)*k+t+4]
+				yb[0], yb[1], yb[2], yb[3] = s10, s11, s12, s13
+			}
+		}
+		for ; t < k; t++ {
+			var s0, s1 float64
+			for b := int(rowPtr[bi]); b < int(rowPtr[bi+1]); b++ {
+				baseCol := int(blkCol[b]) * 2
+				off := b * 4
+				x0 := x[baseCol*k+t]
+				s0 += val[off] * x0
+				s1 += val[off+2] * x0
+				if baseCol+2 <= cols {
+					x1 := x[(baseCol+1)*k+t]
+					s0 += val[off+1] * x1
+					s1 += val[off+3] * x1
+				}
+			}
+			if row < f.rows {
+				y[row*k+t] = s0
+			}
+			if row+1 < f.rows {
+				y[(row+1)*k+t] = s1
+			}
+		}
+	}
+}
+
+// blockRowRangeMulti is the fused generic-geometry kernel: per block row
+// and 4-vector tile the row accumulators live in a small buffer while each
+// block's values load once per tile.
+func (f *BCSR) blockRowRangeMulti(x, y []float64, k, lo, hi int) {
+	if f.br == 2 && f.bc == 2 {
+		f.blockRowRangeMulti2x2(x, y, k, lo, hi)
+		return
+	}
+	br, bc := f.br, f.bc
+	var sumsBuf [multiTile * maxStackBlockRows]float64
+	var sums []float64
+	if br <= maxStackBlockRows {
+		sums = sumsBuf[:br*multiTile]
+	} else {
+		sums = make([]float64, br*multiTile)
+	}
+	rowPtr, blkCol, val := f.rowPtr, f.blkCol, f.val
+	blk := br * bc
+	for bi := lo; bi < hi; bi++ {
+		for t := 0; t < k; t += multiTile {
+			tw := k - t
+			if tw > multiTile {
+				tw = multiTile
+			}
+			for i := range sums {
+				sums[i] = 0
+			}
+			for b := int(rowPtr[bi]); b < int(rowPtr[bi+1]); b++ {
+				baseCol := int(blkCol[b]) * bc
+				off := b * blk
+				for cc := 0; cc < bc; cc++ {
+					col := baseCol + cc
+					if col >= f.cols {
+						break // edge block: remaining columns out of range
+					}
+					xb := x[col*k+t : col*k+t+tw : col*k+t+tw]
+					for r := 0; r < br; r++ {
+						v := val[off+r*bc+cc]
+						sb := sums[r*multiTile : r*multiTile+tw : r*multiTile+tw]
+						for q, xq := range xb {
+							sb[q] += v * xq
+						}
+					}
+				}
+			}
+			for r := 0; r < br; r++ {
+				row := bi*br + r
+				if row >= f.rows {
+					break
+				}
+				copy(y[row*k+t:row*k+t+tw], sums[r*multiTile:r*multiTile+tw])
+			}
+		}
+	}
+}
+
 // SpMV implements Format.
 func (f *BCSR) SpMV(x, y []float64) {
 	checkShape("BCSR", f.rows, f.cols, x, y)
 	f.blockRowRange(x, y, 0, f.blockRows)
+}
+
+// blockRowPlan builds (or fetches) the nnz-balanced block-row partition
+// for the grant's placement, shared by the single- and multi-vector
+// dispatches. Ranges partition block-row indices.
+func (f *BCSR) blockRowPlan(g *exec.Grant) *exec.Plan {
+	return f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		ranges, off := sched.DomainSplitOff(f.rowPtr, k.Domains, k.Workers, sched.NNZBalanced)
+		return &exec.Plan{Ranges: ranges, DomainOff: off}
+	})
 }
 
 // SpMVParallel implements Format over nnz-balanced block rows.
@@ -251,11 +389,27 @@ func (f *BCSR) SpMVParallel(x, y []float64, workers int) {
 	}
 	g := exec.Acquire(workers)
 	defer g.Release() // no-op after Run; frees the shard if a plan build panics
-	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
-		return &exec.Plan{Ranges: sched.DomainSplit(f.rowPtr, k.Domains, k.Workers, sched.NNZBalanced)}
-	})
+	pl := f.blockRowPlan(&g)
 	ranges := pl.Ranges
-	g.Run(len(ranges), func(w int) {
+	g.RunPlan(pl, func(w int) {
 		f.blockRowRange(x, y, ranges[w].RowLo, ranges[w].RowHi)
+	})
+}
+
+// MultiplyMany implements Format with the fused block kernel over the same
+// block-row partition SpMVParallel uses.
+func (f *BCSR) MultiplyMany(y, x []float64, k int) {
+	checkShapeMulti("BCSR", f.rows, f.cols, y, x, k)
+	workers := exec.Workers((f.nnz+int64(f.blockRows))*int64(k), exec.MaxWorkers())
+	if workers <= 1 {
+		f.blockRowRangeMulti(x, y, k, 0, f.blockRows)
+		return
+	}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.blockRowPlan(&g)
+	ranges := pl.Ranges
+	g.RunPlan(pl, func(w int) {
+		f.blockRowRangeMulti(x, y, k, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }

@@ -14,6 +14,7 @@ type COO struct {
 	val        []float64
 	plans      exec.PlanCache // SpMVParallel carry slots
 	addPlans   exec.PlanCache // spmvAddParallel carry lists (HYB spill)
+	mplans     exec.PlanCache // MultiplyMany k-wide carry slots
 }
 
 // newCOOFromParts wraps pre-built triplet arrays (used by NewCOO and the
@@ -22,6 +23,7 @@ func newCOOFromParts(rows, cols int, rowIdx, colIdx []int32, val []float64) *COO
 	return &COO{
 		rows: rows, cols: cols, rowIdx: rowIdx, colIdx: colIdx, val: val,
 		plans: exec.NewPlanCache(), addPlans: exec.NewPlanCache(),
+		mplans: exec.NewPlanCache(),
 	}
 }
 
@@ -157,6 +159,155 @@ func (f *COO) SpMVParallel(x, y []float64, workers int) {
 		}
 		if r := sc.lastRow[w]; r >= 0 {
 			y[r] += sc.lastSum[w]
+		}
+	}
+}
+
+// cooRunInto accumulates entries [lo, hi) — all belonging to one row —
+// times the k-wide x block into dst (the row's k partial sums), streaming
+// the run once per 4-vector register tile.
+func cooRunInto(colIdx []int32, val, x, dst []float64, k, lo, hi int) {
+	t := 0
+	for ; t+multiTile <= k; t += multiTile {
+		var s0, s1, s2, s3 float64
+		for j := lo; j < hi; j++ {
+			vj := val[j]
+			xb := x[int(colIdx[j])*k+t : int(colIdx[j])*k+t+4 : int(colIdx[j])*k+t+4]
+			s0 += vj * xb[0]
+			s1 += vj * xb[1]
+			s2 += vj * xb[2]
+			s3 += vj * xb[3]
+		}
+		dst[t] += s0
+		dst[t+1] += s1
+		dst[t+2] += s2
+		dst[t+3] += s3
+	}
+	for ; t < k; t++ {
+		var s float64
+		for j := lo; j < hi; j++ {
+			s += val[j] * x[int(colIdx[j])*k+t]
+		}
+		dst[t] += s
+	}
+}
+
+// multiplyManySerial is the fused serial kernel: per row run, per tile,
+// the run streams once with the tile's sums in registers.
+func (f *COO) multiplyManySerial(x, y []float64, k int) {
+	zero(y)
+	rowIdx, colIdx, val := f.rowIdx, f.colIdx, f.val
+	n := len(val)
+	e := 0
+	for e < n {
+		row := int(rowIdx[e])
+		re := e + 1
+		for re < n && int(rowIdx[re]) == row {
+			re++
+		}
+		cooRunInto(colIdx, val, x, y[row*k:row*k+k], k, e, re)
+		e = re
+	}
+}
+
+// cooMultiScratch is the plan-cached carry state of MultiplyMany: per
+// worker, the first and last row its entry chunk touches (-1: none) and
+// their k-wide partial sums. The sum buffers are sized workers*k for the
+// largest k this plan has served and grow under the plan lock.
+type cooMultiScratch struct {
+	firstRow, lastRow []int32
+	firstSum, lastSum []float64
+}
+
+// MultiplyMany implements Format with the fused run kernel: contiguous
+// entry chunks per worker like SpMVParallel, with k-wide carry slots for
+// the rows straddling chunk boundaries.
+func (f *COO) MultiplyMany(y, x []float64, k int) {
+	checkShapeMulti("COO", f.rows, f.cols, y, x, k)
+	n := len(f.val)
+	workers := exec.Workers((int64(n)+int64(f.rows))*int64(k), exec.MaxWorkers())
+	if workers <= 1 || n < 2*workers {
+		f.multiplyManySerial(x, y, k)
+		return
+	}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.mplans.Get(g.Key(), func(kk exec.PlanKey) *exec.Plan {
+		return &exec.Plan{Scratch: &cooMultiScratch{
+			firstRow: make([]int32, kk.Workers), lastRow: make([]int32, kk.Workers),
+		}}
+	})
+	sc := pl.Scratch.(*cooMultiScratch)
+	if pl.TryLock() {
+		defer pl.Unlock()
+		if len(sc.firstSum) < workers*k {
+			sc.firstSum = make([]float64, workers*k)
+			sc.lastSum = make([]float64, workers*k)
+		}
+	} else {
+		// Another call on this plan is mid-flight: private carry slots keep
+		// concurrent invocations fully parallel.
+		sc = &cooMultiScratch{
+			firstRow: make([]int32, workers), lastRow: make([]int32, workers),
+			firstSum: make([]float64, workers*k), lastSum: make([]float64, workers*k),
+		}
+	}
+	zero(y)
+	rowIdx, colIdx, val := f.rowIdx, f.colIdx, f.val
+	// Entry chunks are contiguous and ordered, so consecutive worker ids —
+	// which a ganged dispatch groups by shard — walk adjacent slabs.
+	g.Run(workers, func(w int) {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		sc.firstRow[w], sc.lastRow[w] = -1, -1
+		if lo >= hi {
+			return
+		}
+		fs := sc.firstSum[w*k : w*k+k]
+		ls := sc.lastSum[w*k : w*k+k]
+		zero(fs)
+		zero(ls)
+		first := rowIdx[lo]
+		last := rowIdx[hi-1]
+		// Leading fragment: the first row may be shared with the previous
+		// chunk, so its sums go to the carry slots (when the whole chunk is
+		// one row this consumes everything).
+		e := lo
+		for e < hi && rowIdx[e] == first {
+			e++
+		}
+		cooRunInto(colIdx, val, x, fs, k, lo, e)
+		sc.firstRow[w] = first
+		// Interior rows are fully owned by this worker.
+		for e < hi && rowIdx[e] != last {
+			row := int(rowIdx[e])
+			re := e + 1
+			for re < hi && int(rowIdx[re]) == row {
+				re++
+			}
+			cooRunInto(colIdx, val, x, y[row*k:row*k+k], k, e, re)
+			e = re
+		}
+		// Trailing fragment of the row cut by the chunk end.
+		if e < hi {
+			cooRunInto(colIdx, val, x, ls, k, e, hi)
+			sc.lastRow[w] = last
+		}
+	})
+	for w := 0; w < workers; w++ {
+		if r := int(sc.firstRow[w]); r >= 0 {
+			yb := y[r*k : r*k+k]
+			fs := sc.firstSum[w*k : w*k+k]
+			for t := range yb {
+				yb[t] += fs[t]
+			}
+		}
+		if r := int(sc.lastRow[w]); r >= 0 {
+			yb := y[r*k : r*k+k]
+			ls := sc.lastSum[w*k : w*k+k]
+			for t := range yb {
+				yb[t] += ls[t]
+			}
 		}
 	}
 }

@@ -1,6 +1,10 @@
 package formats
 
 import (
+	"os"
+	"strconv"
+	"sync/atomic"
+
 	"repro/internal/exec"
 	"repro/internal/matrix"
 	"repro/internal/sched"
@@ -80,6 +84,18 @@ func (f *CSR) SpMV(x, y []float64) {
 	csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows)
 }
 
+// rangePlan builds (or fetches) the cached row partition for the grant's
+// placement under the given policy, with the per-domain offset table that
+// keeps ganged dispatches aligned when ranges collapse. Every CSR-array
+// method — single- and multi-vector — shares this cache, so an instance
+// computes each placement's partition exactly once.
+func (f *CSR) rangePlan(g *exec.Grant, policy sched.Partitioner) *exec.Plan {
+	return f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		ranges, off := sched.DomainSplitOff(f.rowPtr, k.Domains, k.Workers, policy)
+		return &exec.Plan{Ranges: ranges, DomainOff: off}
+	})
+}
+
 // SpMVParallel implements Format, splitting rows into equal-count blocks
 // (per domain slice when the dispatch gangs across shards).
 func (f *CSR) SpMVParallel(x, y []float64, workers int) {
@@ -91,12 +107,36 @@ func (f *CSR) SpMVParallel(x, y []float64, workers int) {
 	}
 	g := exec.Acquire(workers)
 	defer g.Release() // no-op after Run; frees the shard if a plan build panics
-	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
-		return &exec.Plan{Ranges: sched.DomainSplit(f.rowPtr, k.Domains, k.Workers, sched.RowBlocks)}
-	})
+	pl := f.rangePlan(&g, sched.RowBlocks)
 	ranges := pl.Ranges
-	g.Run(len(ranges), func(w int) {
+	g.RunPlan(pl, func(w int) {
 		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, ranges[w].RowLo, ranges[w].RowHi)
+	})
+}
+
+// MultiplyMany implements Format with the fused row kernel over the same
+// row partition SpMVParallel uses. Vec-CSR inherits it: the multi-vector
+// tile already provides the register-level parallelism its single-vector
+// kernel unrolls for.
+func (f *CSR) MultiplyMany(y, x []float64, k int) {
+	checkShapeMulti(f.Name(), f.rows, f.cols, y, x, k)
+	f.multiplyMany(y, x, k, sched.RowBlocks)
+}
+
+// multiplyMany dispatches the fused CSR kernel under the given partition
+// policy; Bal-CSR and MKL-IE reuse it with nonzero-balanced splits.
+func (f *CSR) multiplyMany(y, x []float64, k int, policy sched.Partitioner) {
+	workers := exec.Workers(f.work()*int64(k), exec.MaxWorkers())
+	if workers <= 1 {
+		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, 0, f.rows)
+		return
+	}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.rangePlan(&g, policy)
+	ranges := pl.Ranges
+	g.RunPlan(pl, func(w int) {
+		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }
 
@@ -119,21 +159,78 @@ func (f *VecCSR) Traits() Traits {
 	return t
 }
 
-// vecWideRowMin gates the widened 8-accumulator inner loop. Widening was
-// evaluated for the usual latency-hiding rationale, but on gather-bound
-// x86 parts the x-vector loads saturate the load ports long before the
-// FP-add chain limits throughput, and the measured effect of the wide path
-// was negative at every tested row length (avg 10, 20, 64 and 256 nnz/row;
-// 4-way + bounds-check elimination won throughout). The wide path therefore
-// only engages for very long rows, where its reduction overhead is fully
-// amortized; machines with more load ports can lower this.
-const vecWideRowMin = 512
+// defaultVecWideRowMin gates the widened 8-accumulator inner loop.
+// Widening was evaluated for the usual latency-hiding rationale, but on
+// gather-bound x86 parts the x-vector loads saturate the load ports long
+// before the FP-add chain limits throughput, and the measured effect of
+// the wide path was negative at every tested row length (avg 10, 20, 64
+// and 256 nnz/row; 4-way + bounds-check elimination won throughout). The
+// wide path therefore only engages for very long rows, where its reduction
+// overhead is fully amortized.
+//
+// The cutoff is x86 tuning. Hosts with more load ports or cheaper gathers
+// (wide-SVE ARM, POWER) may profit from the 8-accumulator path on much
+// shorter rows: override without rebuilding via the SPMV_VEC_ROWMIN
+// environment variable, or at runtime with SetVecWideRowMin. Re-tune by
+// sweeping the cutoff over matrices with the row lengths above and keeping
+// the fastest (see docs/BENCHMARKS.md for the measurement recipe).
+const defaultVecWideRowMin = 512
+
+// vecWideRowMin is the active cutoff; read once per kernel invocation.
+var vecWideRowMin atomic.Int64
+
+func init() {
+	if n := envVecRowMin(); n > 0 {
+		vecWideRowMin.Store(int64(n))
+	}
+}
+
+// envVecRowMin parses the SPMV_VEC_ROWMIN override; 0 means unset or
+// invalid. Both process startup and SetVecWideRowMin's restore path go
+// through here, so the env rule cannot diverge between them.
+func envVecRowMin() int {
+	s := os.Getenv("SPMV_VEC_ROWMIN")
+	if s == "" {
+		return 0
+	}
+	if n, err := strconv.Atoi(s); err == nil && n > 0 {
+		return n
+	}
+	return 0
+}
+
+// VecWideRowMin returns the row length at and above which the vectorized
+// CSR kernels switch to the 8-accumulator wide path.
+func VecWideRowMin() int {
+	if n := vecWideRowMin.Load(); n > 0 {
+		return int(n)
+	}
+	return defaultVecWideRowMin
+}
+
+// SetVecWideRowMin overrides the wide-path cutoff; n <= 0 restores the
+// default (or the SPMV_VEC_ROWMIN environment override, re-read). It
+// returns the previous override (0 if none) so tests and tuners can
+// restore it.
+func SetVecWideRowMin(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	prev := int(vecWideRowMin.Swap(int64(n)))
+	if n == 0 {
+		if env := envVecRowMin(); env > 0 {
+			vecWideRowMin.Store(int64(env))
+		}
+	}
+	return prev
+}
 
 // vecCSRRowRange is the unrolled CSR kernel: four independent accumulators
 // (eight for very long rows) hide the FP-add latency chain, short rows skip
 // the unroll entirely, and capped sub-slices drop the val/colIdx bounds
 // checks like the scalar kernel.
 func vecCSRRowRange(rowPtr, colIdx []int32, val, x, y []float64, lo, hi int) {
+	wideMin := VecWideRowMin()
 	end := int(rowPtr[lo])
 	for i := lo; i < hi; i++ {
 		start := end
@@ -144,7 +241,7 @@ func vecCSRRowRange(rowPtr, colIdx []int32, val, x, y []float64, lo, hi int) {
 		n := len(c)
 		var s0, s1, s2, s3 float64
 		k := 0
-		if n >= vecWideRowMin {
+		if n >= wideMin {
 			var s4, s5, s6, s7 float64
 			for ; k+8 <= n; k += 8 {
 				s0 += v[k] * x[c[k]]
@@ -188,11 +285,9 @@ func (f *VecCSR) SpMVParallel(x, y []float64, workers int) {
 	}
 	g := exec.Acquire(workers)
 	defer g.Release() // no-op after Run; frees the shard if a plan build panics
-	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
-		return &exec.Plan{Ranges: sched.DomainSplit(f.rowPtr, k.Domains, k.Workers, sched.RowBlocks)}
-	})
+	pl := f.rangePlan(&g, sched.RowBlocks)
 	ranges := pl.Ranges
-	g.Run(len(ranges), func(w int) {
+	g.RunPlan(pl, func(w int) {
 		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }
@@ -227,13 +322,18 @@ func (f *BalCSR) SpMVParallel(x, y []float64, workers int) {
 	}
 	g := exec.Acquire(workers)
 	defer g.Release() // no-op after Run; frees the shard if a plan build panics
-	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
-		return &exec.Plan{Ranges: sched.DomainSplit(f.rowPtr, k.Domains, k.Workers, sched.NNZBalanced)}
-	})
+	pl := f.rangePlan(&g, sched.NNZBalanced)
 	ranges := pl.Ranges
-	g.Run(len(ranges), func(w int) {
+	g.RunPlan(pl, func(w int) {
 		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
+}
+
+// MultiplyMany implements Format with the fused kernel over nonzero-
+// balanced row blocks, this format's partition discipline.
+func (f *BalCSR) MultiplyMany(y, x []float64, k int) {
+	checkShapeMulti(f.Name(), f.rows, f.cols, y, x, k)
+	f.multiplyMany(y, x, k, sched.NNZBalanced)
 }
 
 // InspectorCSR models the vendor inspector-executor CSR (Intel MKL-IE,
@@ -303,15 +403,26 @@ func (f *InspectorCSR) SpMVParallel(x, y []float64, workers int) {
 	}
 	g := exec.Acquire(workers)
 	defer g.Release() // no-op after Run; frees the shard if a plan build panics
-	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
-		policy := sched.Partitioner(sched.RowBlocks)
-		if f.balance {
-			policy = sched.NNZBalanced
-		}
-		return &exec.Plan{Ranges: sched.DomainSplit(f.rowPtr, k.Domains, k.Workers, policy)}
-	})
+	pl := f.rangePlan(&g, f.policy())
 	ranges := pl.Ranges
-	g.Run(len(ranges), func(w int) {
+	g.RunPlan(pl, func(w int) {
 		f.rowRange(x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
+}
+
+// policy returns the partition discipline the inspection committed to.
+func (f *InspectorCSR) policy() sched.Partitioner {
+	if f.balance {
+		return sched.NNZBalanced
+	}
+	return sched.RowBlocks
+}
+
+// MultiplyMany implements Format with the fused kernel under the inspected
+// partition policy. The fused tile supersedes the single-vector
+// vectorize choice: register-level parallelism comes from the 4-vector
+// tile regardless of row length.
+func (f *InspectorCSR) MultiplyMany(y, x []float64, k int) {
+	checkShapeMulti(f.Name(), f.rows, f.cols, y, x, k)
+	f.multiplyMany(y, x, k, f.policy())
 }

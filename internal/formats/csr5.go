@@ -278,6 +278,14 @@ func (f *CSR5) SpMVParallel(x, y []float64, workers int) {
 	}
 }
 
+// MultiplyMany implements Format one vector at a time: the segmented-sum
+// descriptors would need k-wide lane carries and flush slots, heavy
+// machinery for a format the multi-vector workloads do not favor.
+func (f *CSR5) MultiplyMany(y, x []float64, k int) {
+	checkShapeMulti("CSR5", f.rows, f.cols, y, x, k)
+	multiplyManyByColumn(f, y, x, k)
+}
+
 // segOfEntry returns the segment containing nonzero g (by binary search).
 func (f *CSR5) segOfEntry(g int64) int {
 	lo, hi := 0, len(f.segStart)-1

@@ -41,6 +41,17 @@ type Format interface {
 	// worker count and cached inside the format instance, so steady-state
 	// calls do zero scheduling work.
 	SpMVParallel(x, y []float64, workers int)
+	// MultiplyMany computes Y = A*X for a block of k dense right-hand
+	// sides at once (SpMM). X and Y are row-major: X holds k values per
+	// matrix column (len cols*k, X[c*k+t] is vector t's value for matrix
+	// column c) and Y k values per matrix row (len rows*k). Hot formats
+	// fuse the k products into one pass over the matrix — each loaded
+	// nonzero feeds k FMAs instead of one, lifting arithmetic intensity
+	// past the bandwidth wall single-vector SpMV hits — while the
+	// remaining formats fall back to one kernel call per vector.
+	// Parallelism, partition plans and scratch go through the same
+	// execution engine and PlanKey placements as SpMVParallel.
+	MultiplyMany(y, x []float64, k int)
 	// Traits reports the structural characteristics of this instance.
 	Traits() Traits
 }

@@ -14,6 +14,11 @@ import (
 // is cached, along with the carry buffers, in the execution plan.
 type MergeCSR struct {
 	CSR
+	// mplans caches MultiplyMany partitions separately: the embedded plans
+	// cache stores merge-path ranges with carry scratch, while the fused
+	// multi-vector path uses whole-row nonzero-balanced ranges without
+	// scratch, and the two must not collide under one PlanKey.
+	mplans exec.PlanCache
 }
 
 // mergeScratch is the plan-cached carry state: one slot per worker for the
@@ -24,7 +29,9 @@ type mergeScratch struct {
 }
 
 // NewMergeCSR builds the merge-based CSR format.
-func NewMergeCSR(m *matrix.CSR) *MergeCSR { return &MergeCSR{*NewCSR(m)} }
+func NewMergeCSR(m *matrix.CSR) *MergeCSR {
+	return &MergeCSR{CSR: *NewCSR(m), mplans: exec.NewPlanCache()}
+}
 
 // Name implements Format.
 func (f *MergeCSR) Name() string { return "Merge-CSR" }
@@ -50,8 +57,8 @@ func (f *MergeCSR) SpMVParallel(x, y []float64, workers int) {
 		// Domain slices cut on whole-row boundaries, so a ganged dispatch
 		// never carries a partial sum across shards; the merge-path split
 		// runs within each domain's slice.
-		ranges := sched.DomainSplit(f.rowPtr, k.Domains, k.Workers, sched.MergePath)
-		return &exec.Plan{Ranges: ranges, Scratch: &mergeScratch{
+		ranges, off := sched.DomainSplitOff(f.rowPtr, k.Domains, k.Workers, sched.MergePath)
+		return &exec.Plan{Ranges: ranges, DomainOff: off, Scratch: &mergeScratch{
 			row: make([]int32, len(ranges)),
 			sum: make([]float64, len(ranges)),
 		}}
@@ -66,7 +73,7 @@ func (f *MergeCSR) SpMVParallel(x, y []float64, workers int) {
 		sc = &mergeScratch{row: make([]int32, len(ranges)), sum: make([]float64, len(ranges))}
 	}
 	rowPtr, colIdx, val := f.rowPtr, f.colIdx, f.val
-	g.Run(len(ranges), func(w int) {
+	g.RunPlan(pl, func(w int) {
 		r := ranges[w]
 		k := r.NNZLo
 		// Rows completed inside the range. The first row may have had its
@@ -98,4 +105,28 @@ func (f *MergeCSR) SpMVParallel(x, y []float64, workers int) {
 			y[row] += sc.sum[w]
 		}
 	}
+}
+
+// MultiplyMany implements Format with the fused CSR kernel over nonzero-
+// balanced whole-row blocks rather than the merge path: a k-wide merge
+// carry would cost k partial slots per boundary, and with every nonzero
+// feeding k FMAs the imbalance a giant row causes is amortized k-fold,
+// so row-resolution nonzero balancing is the better trade here.
+func (f *MergeCSR) MultiplyMany(y, x []float64, k int) {
+	checkShapeMulti(f.Name(), f.rows, f.cols, y, x, k)
+	workers := exec.Workers(f.work()*int64(k), exec.MaxWorkers())
+	if workers <= 1 {
+		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, 0, f.rows)
+		return
+	}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.mplans.Get(g.Key(), func(kk exec.PlanKey) *exec.Plan {
+		ranges, off := sched.DomainSplitOff(f.rowPtr, kk.Domains, kk.Workers, sched.NNZBalanced)
+		return &exec.Plan{Ranges: ranges, DomainOff: off}
+	})
+	ranges := pl.Ranges
+	g.RunPlan(pl, func(w int) {
+		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, ranges[w].RowLo, ranges[w].RowHi)
+	})
 }

@@ -1,0 +1,120 @@
+package formats
+
+// Multi-vector SpMV (SpMM): every format multiplies a block of k dense
+// right-hand sides at once via Format.MultiplyMany. Single-vector SpMV is
+// memory-bound — each matrix entry is loaded to feed exactly one FMA — so
+// the fused kernels here stream the matrix once per register tile of 4
+// vectors, reusing every loaded (value, column) pair k times the same way
+// wide-SIMD formats reuse row structure (Kreutzer et al., SELL-C-sigma).
+//
+// Layout: X and Y are row-major blocks, k values per matrix column/row.
+// X[c*k+t] is vector t's entry for matrix column c, so one nonzero's k
+// x-operands are contiguous — a single gathered cache line serves the
+// whole tile — and Y[r*k:(r+1)*k] is written once per row.
+//
+// The register tile is 4 wide (k unrolled in blocks of 4, tail of 1-3
+// handled separately): 4 accumulators hide the FP-add latency chain
+// without spilling, and the tile's x operands fit one 256-bit vector.
+//
+// Formats off the hot path (HYB, CSR5, SparseX, VSL) use the
+// multiplyManyByColumn fallback: one existing kernel call per vector, with
+// gather/scatter between the row-major block and contiguous temporaries.
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+)
+
+// multiTile is the register-tile width of the fused kernels: k is unrolled
+// in blocks of this many vectors.
+const multiTile = 4
+
+// checkShapeMulti panics on MultiplyMany shape mismatches; like checkShape,
+// calling with wrong block shapes is a programmer error.
+func checkShapeMulti(name string, rows, cols int, y, x []float64, k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("formats: %s MultiplyMany: k = %d (want >= 1)", name, k))
+	}
+	if len(x) != cols*k || len(y) != rows*k {
+		panic(fmt.Sprintf("formats: %s MultiplyMany shape mismatch: x %d y %d for %dx%d with k=%d",
+			name, len(x), len(y), rows, cols, k))
+	}
+}
+
+// multiplyManyByColumn is the correctness fallback for formats without a
+// fused kernel: one right-hand side at a time, gathering each column of X
+// into a contiguous vector for the format's existing parallel kernel and
+// scattering the product back into Y. It allocates two dense temporaries
+// per call — acceptable off the hot path, which is why the hot formats
+// override it with fused kernels.
+func multiplyManyByColumn(f Format, y, x []float64, k int) {
+	rows, cols := f.Rows(), f.Cols()
+	xj := make([]float64, cols)
+	yj := make([]float64, rows)
+	for t := 0; t < k; t++ {
+		for c := 0; c < cols; c++ {
+			xj[c] = x[c*k+t]
+		}
+		f.SpMVParallel(xj, yj, exec.MaxWorkers())
+		for r := 0; r < rows; r++ {
+			y[r*k+t] = yj[r]
+		}
+	}
+}
+
+// csrRowRangeMulti is the fused CSR kernel: rows [lo, hi) of the k-wide
+// product. Each row's (value, column) stream is walked once per 4-vector
+// tile with the tile's partial sums in registers, so every loaded nonzero
+// feeds 4 FMAs; the 1-3 vector tail reruns the stream with a narrower
+// accumulator set.
+func csrRowRangeMulti(rowPtr, colIdx []int32, val, x, y []float64, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		start := int(rowPtr[i])
+		end := int(rowPtr[i+1])
+		c := colIdx[start:end:end]
+		v := val[start:end:end]
+		v = v[:len(c)]
+		yi := y[i*k : i*k+k : i*k+k]
+		t := 0
+		for ; t+multiTile <= k; t += multiTile {
+			var s0, s1, s2, s3 float64
+			for j, cj := range c {
+				vj := v[j]
+				xb := x[int(cj)*k+t : int(cj)*k+t+4 : int(cj)*k+t+4]
+				s0 += vj * xb[0]
+				s1 += vj * xb[1]
+				s2 += vj * xb[2]
+				s3 += vj * xb[3]
+			}
+			yi[t], yi[t+1], yi[t+2], yi[t+3] = s0, s1, s2, s3
+		}
+		switch k - t {
+		case 3:
+			var s0, s1, s2 float64
+			for j, cj := range c {
+				vj := v[j]
+				base := int(cj)*k + t
+				s0 += vj * x[base]
+				s1 += vj * x[base+1]
+				s2 += vj * x[base+2]
+			}
+			yi[t], yi[t+1], yi[t+2] = s0, s1, s2
+		case 2:
+			var s0, s1 float64
+			for j, cj := range c {
+				vj := v[j]
+				base := int(cj)*k + t
+				s0 += vj * x[base]
+				s1 += vj * x[base+1]
+			}
+			yi[t], yi[t+1] = s0, s1
+		case 1:
+			var s0 float64
+			for j, cj := range c {
+				s0 += v[j] * x[int(cj)*k+t]
+			}
+			yi[t] = s0
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package formats
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exec"
+	"repro/internal/matrix"
+)
+
+// multiKs are the block widths the MultiplyMany property tests sweep: 1
+// (degenerate), every tail size (2, 3), the register-tile width (4), tile
+// plus tail (5), the benchmark width (8), and a prime past two tiles (17).
+var multiKs = []int{1, 2, 3, 4, 5, 8, 17}
+
+// multiplyManyWant is the specification: k independent Multiply calls
+// through the format's own serial kernel, gathered from / scattered to the
+// row-major block layout.
+func multiplyManyWant(f Format, rows, cols int, x []float64, k int) []float64 {
+	want := make([]float64, rows*k)
+	xj := make([]float64, cols)
+	yj := make([]float64, rows)
+	for t := 0; t < k; t++ {
+		for c := 0; c < cols; c++ {
+			xj[c] = x[c*k+t]
+		}
+		f.SpMV(xj, yj)
+		for r := 0; r < rows; r++ {
+			want[r*k+t] = yj[r]
+		}
+	}
+	return want
+}
+
+// degenerateMatrices are the empty and near-empty shapes every format must
+// survive: no nonzeros, single entries, and empty-row runs at the edges.
+func degenerateMatrices() map[string]*matrix.CSR {
+	ms := map[string]*matrix.CSR{
+		"empty-5x7":  matrix.NewCOO(5, 7, 0).ToCSR(),
+		"single-1x1": nil,
+		"emptyrows":  nil,
+	}
+	o := matrix.NewCOO(1, 1, 0)
+	o.Append(0, 0, 2.5)
+	ms["single-1x1"] = o.ToCSR()
+	o = matrix.NewCOO(40, 40, 0)
+	for _, r := range []int32{3, 19, 20, 21, 39} {
+		for c := int32(0); c < 5; c++ {
+			o.Append(r, (c*7+r)%40, float64(r)+0.5)
+		}
+	}
+	ms["emptyrows"] = o.ToCSR()
+	return ms
+}
+
+// TestMultiplyManyEquivalence is the tentpole correctness property: for
+// every registry format, MultiplyMany must equal k independent Multiply
+// calls (within FP-reassociation tolerance) for every k in multiKs, on the
+// engine test matrices — large enough that the parallel fused kernels
+// genuinely dispatch — and on empty/degenerate shapes.
+func TestMultiplyManyEquivalence(t *testing.T) {
+	prev := exec.SetMaxWorkers(8)
+	defer exec.SetMaxWorkers(prev)
+
+	ms := engineTestMatrices(t)
+	for name, m := range degenerateMatrices() {
+		ms[name] = m
+	}
+	for name, m := range ms {
+		for _, b := range Registry() {
+			f, err := b.Build(m)
+			if err != nil {
+				if errors.Is(err, ErrBuild) {
+					continue
+				}
+				t.Fatalf("%s on %s: %v", b.Name, name, err)
+			}
+			for _, k := range multiKs {
+				x := matrix.RandomVector(m.Cols*k, int64(13*k)+7)
+				want := multiplyManyWant(f, m.Rows, m.Cols, x, k)
+				got := make([]float64, m.Rows*k)
+				for i := range got {
+					got[i] = math.NaN() // every slot must be written
+				}
+				// Twice: the second call runs on the cached plan.
+				f.MultiplyMany(got, x, k)
+				f.MultiplyMany(got, x, k)
+				if d := maxAbsDiff(got, want); d > 1e-8 || anyNaN(got) {
+					t.Errorf("%s on %s with k=%d: differs from %d sequential calls by %g (NaN=%v)",
+						b.Name, name, k, k, d, anyNaN(got))
+				}
+			}
+		}
+	}
+}
+
+// TestMultiplyManyShardedEquivalence is the gang-path property: with
+// several shards and a worker cap wide enough that a fused call must
+// gang-schedule (domain-split plans, offset-dispatched id blocks), every
+// format still matches the sequential specification.
+func TestMultiplyManyShardedEquivalence(t *testing.T) {
+	prev := exec.SetMaxWorkers(32)
+	defer exec.SetMaxWorkers(prev)
+	setShards(t, 3)
+	exec.Prestart()
+
+	const k = 8
+	for name, m := range engineTestMatrices(t) {
+		x := matrix.RandomVector(m.Cols*k, 177)
+		for _, b := range Registry() {
+			f, err := b.Build(m)
+			if err != nil {
+				if errors.Is(err, ErrBuild) {
+					continue
+				}
+				t.Fatalf("%s on %s: %v", b.Name, name, err)
+			}
+			want := multiplyManyWant(f, m.Rows, m.Cols, x, k)
+			got := make([]float64, m.Rows*k)
+			for i := range got {
+				got[i] = math.NaN()
+			}
+			f.MultiplyMany(got, x, k)
+			f.MultiplyMany(got, x, k)
+			if d := maxAbsDiff(got, want); d > 1e-8 || anyNaN(got) {
+				t.Errorf("%s on %s ganged over 3 shards with k=%d: diff %g (NaN=%v)",
+					b.Name, name, k, d, anyNaN(got))
+			}
+		}
+	}
+}
+
+// TestMultiplyManyConcurrentCallers drives the contention path through the
+// sharded engine: several goroutines issue MultiplyMany on one format
+// instance with distinct outputs and distinct k. Calls that lose the
+// plan's TryLock must fall back to private k-wide scratch and still be
+// correct; with -race this also proves the cached carry buffers are never
+// shared across in-flight calls.
+func TestMultiplyManyConcurrentCallers(t *testing.T) {
+	prev := exec.SetMaxWorkers(8)
+	defer exec.SetMaxWorkers(prev)
+	setShards(t, 2)
+	exec.Prestart()
+
+	m := matrix.RandomRowSizes(20000, 20000, skewedSizes(20000, 400), 91)
+	// COO carries k-wide scratch; CSR and SELL-C-s cover the scratch-free
+	// fused paths.
+	for _, name := range []string{"COO", "Naive-CSR", "SELL-C-s"} {
+		b, _ := Lookup(name)
+		f, err := b.Build(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for gi := 0; gi < 8; gi++ {
+			k := []int{3, 8}[gi%2] // distinct widths contend on one plan's scratch
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				x := matrix.RandomVector(m.Cols*k, int64(100+k))
+				want := multiplyManyWant(f, m.Rows, m.Cols, x, k)
+				y := make([]float64, m.Rows*k)
+				for i := 0; i < 6; i++ {
+					f.MultiplyMany(y, x, k)
+					if d := maxAbsDiff(y, want); d > 1e-8 {
+						errs <- name
+						return
+					}
+				}
+			}(k)
+		}
+		wg.Wait()
+		close(errs)
+		for name := range errs {
+			t.Errorf("%s: concurrent MultiplyMany diverged from sequential calls", name)
+		}
+	}
+}
+
+// TestQuickMultiplyMany: for arbitrary small random matrices and widths,
+// the fused kernels agree with the sequential specification. Complements
+// the fixed-k sweep with randomized shapes (including very sparse ones
+// with many empty rows).
+func TestQuickMultiplyMany(t *testing.T) {
+	prevW := exec.SetMaxWorkers(8)
+	defer exec.SetMaxWorkers(prevW)
+	fn := func(seed uint32, rowsRaw, kRaw uint8) bool {
+		rows := int(rowsRaw%60) + 1
+		k := int(kRaw%9) + 1
+		m := matrix.Random(rows, rows+3, 0.1, int64(seed))
+		x := matrix.RandomVector(m.Cols*k, int64(seed)+2)
+		for _, name := range []string{"COO", "Naive-CSR", "Bal-CSR", "ELL", "SELL-C-s", "BCSR", "Merge-CSR"} {
+			b, _ := Lookup(name)
+			f, err := b.Build(m)
+			if err != nil {
+				continue
+			}
+			want := multiplyManyWant(f, m.Rows, m.Cols, x, k)
+			got := make([]float64, m.Rows*k)
+			f.MultiplyMany(got, x, k)
+			if maxAbsDiff(got, want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMultiplyManyShapePanics: wrong block shapes and k < 1 are programmer
+// errors and must panic, like the single-vector kernels.
+func TestMultiplyManyShapePanics(t *testing.T) {
+	m := matrix.Tridiagonal(100, 2, -1)
+	f := NewCSR(m)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("k=0", func() { f.MultiplyMany(make([]float64, 0), make([]float64, 0), 0) })
+	mustPanic("short x", func() { f.MultiplyMany(make([]float64, 200), make([]float64, 199), 2) })
+	mustPanic("short y", func() { f.MultiplyMany(make([]float64, 199), make([]float64, 200), 2) })
+}

@@ -192,14 +192,90 @@ func (f *SELLCS) SpMVParallel(x, y []float64, workers int) {
 	}
 	g := exec.Acquire(workers)
 	defer g.Release() // no-op after Run; frees the shard if a plan build panics
-	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
-		// Ranges partition chunk indices here (RowLo/RowHi are chunk
-		// bounds): chunks are contiguous slabs of sigma-sorted rows, so
-		// the domain split hands each shard adjacent slabs.
-		return &exec.Plan{Ranges: sched.DomainEvenRows(nChunks, k.Domains, k.Workers)}
-	})
+	pl := f.chunkPlan(&g)
 	ranges := pl.Ranges
-	g.Run(len(ranges), func(w int) {
+	g.RunPlan(pl, func(w int) {
 		f.chunkRange(x, y, ranges[w].RowLo, ranges[w].RowHi)
+	})
+}
+
+// chunkPlan builds (or fetches) the chunk partition for the grant's
+// placement. Ranges partition chunk indices (RowLo/RowHi are chunk
+// bounds): chunks are contiguous slabs of sigma-sorted rows, so the domain
+// split hands each shard adjacent slabs. Shared by the single- and
+// multi-vector dispatches.
+func (f *SELLCS) chunkPlan(g *exec.Grant) *exec.Plan {
+	return f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
+		ranges, off := sched.DomainEvenRowsOff(len(f.chunkLen), k.Domains, k.Workers)
+		return &exec.Plan{Ranges: ranges, DomainOff: off}
+	})
+}
+
+// chunkRangeMulti is the fused SELL-C-sigma kernel. Within a chunk the
+// lanes run lane-major per 4-vector tile: a lane's partial sums live in
+// four registers while it strides through the chunk slab, and the slab —
+// C lanes x the chunk's padded width — is small enough to stay in L1
+// across the lanes and tiles that revisit it, so the strided walk costs
+// cache hits, not memory traffic.
+func (f *SELLCS) chunkRangeMulti(x, y []float64, k, chLo, chHi int) {
+	c := f.c
+	val, colIdx, rows := f.val, f.colIdx, f.rows
+	for ch := chLo; ch < chHi; ch++ {
+		base := f.chunkPtr[ch]
+		width := int(f.chunkLen[ch])
+		slab := int64(width) * int64(c)
+		cs := colIdx[base : base+slab : base+slab]
+		vs := val[base : base+slab : base+slab]
+		vs = vs[:len(cs)]
+		for lane := 0; lane < c; lane++ {
+			s := ch*c + lane
+			if s >= rows {
+				break // trailing lanes of the last partial chunk
+			}
+			row := int(f.perm[s])
+			yb := y[row*k : row*k+k : row*k+k]
+			t := 0
+			for ; t+multiTile <= k; t += multiTile {
+				var s0, s1, s2, s3 float64
+				for kk := lane; kk < len(cs); kk += c {
+					vj := vs[kk]
+					xb := x[int(cs[kk])*k+t : int(cs[kk])*k+t+4 : int(cs[kk])*k+t+4]
+					s0 += vj * xb[0]
+					s1 += vj * xb[1]
+					s2 += vj * xb[2]
+					s3 += vj * xb[3]
+				}
+				yb[t], yb[t+1], yb[t+2], yb[t+3] = s0, s1, s2, s3
+			}
+			for ; t < k; t++ {
+				var s0 float64
+				for kk := lane; kk < len(cs); kk += c {
+					s0 += vs[kk] * x[int(cs[kk])*k+t]
+				}
+				yb[t] = s0
+			}
+		}
+	}
+}
+
+// MultiplyMany implements Format with the fused chunk kernel over the same
+// chunk partition SpMVParallel uses.
+func (f *SELLCS) MultiplyMany(y, x []float64, k int) {
+	checkShapeMulti(f.Name(), f.rows, f.cols, y, x, k)
+	nChunks := len(f.chunkLen)
+	workers := exec.Workers(int64(len(f.val))*int64(k), exec.MaxWorkers())
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		f.chunkRangeMulti(x, y, k, 0, nChunks)
+		return
+	}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.chunkPlan(&g)
+	ranges := pl.Ranges
+	g.RunPlan(pl, func(w int) {
+		f.chunkRangeMulti(x, y, k, ranges[w].RowLo, ranges[w].RowHi)
 	})
 }

@@ -229,10 +229,19 @@ func (f *SPX) SpMVParallel(x, y []float64, workers int) {
 	g := exec.Acquire(workers)
 	defer g.Release() // no-op after Run; frees the shard if a plan build panics
 	pl := f.plans.Get(g.Key(), func(k exec.PlanKey) *exec.Plan {
-		return &exec.Plan{Ranges: sched.DomainSplit(f.nnzPtr, k.Domains, k.Workers, sched.NNZBalanced)}
+		ranges, off := sched.DomainSplitOff(f.nnzPtr, k.Domains, k.Workers, sched.NNZBalanced)
+		return &exec.Plan{Ranges: ranges, DomainOff: off}
 	})
 	ranges := pl.Ranges
-	g.Run(len(ranges), func(w int) {
+	g.RunPlan(pl, func(w int) {
 		f.rowRange(x, y, ranges[w].RowLo, ranges[w].RowHi)
 	})
+}
+
+// MultiplyMany implements Format one vector at a time: the compressed unit
+// stream must be re-decoded per register tile, which costs more than the
+// fused reuse saves, so SparseX stays off the multi-vector hot path.
+func (f *SPX) MultiplyMany(y, x []float64, k int) {
+	checkShapeMulti("SparseX", f.rows, f.cols, y, x, k)
+	multiplyManyByColumn(f, y, x, k)
 }

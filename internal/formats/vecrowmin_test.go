@@ -1,0 +1,55 @@
+package formats
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestSetVecWideRowMin covers the tuning hook for the 8-accumulator wide
+// CSR path: the setter overrides and restores, and the vectorized kernel
+// stays correct when the cutoff forces the wide path onto every row (the
+// configuration a wider-load-port host would run).
+func TestSetVecWideRowMin(t *testing.T) {
+	// The process may have started with SPMV_VEC_ROWMIN set (the state the
+	// tuning recipe in docs/BENCHMARKS.md creates); neutralize it so the
+	// default-value assertions below hold, and restore on cleanup.
+	t.Setenv("SPMV_VEC_ROWMIN", "")
+	orig := SetVecWideRowMin(0)
+	t.Cleanup(func() { SetVecWideRowMin(orig) })
+
+	if got := VecWideRowMin(); got != defaultVecWideRowMin {
+		t.Fatalf("default cutoff = %d, want %d", got, defaultVecWideRowMin)
+	}
+	if prev := SetVecWideRowMin(8); prev != 0 {
+		t.Fatalf("first override returned previous %d, want 0", prev)
+	}
+	defer SetVecWideRowMin(0)
+	if got := VecWideRowMin(); got != 8 {
+		t.Fatalf("cutoff after SetVecWideRowMin(8) = %d, want 8", got)
+	}
+
+	// Rows of length 8..~70 now all take the wide path; the result must
+	// still match the scalar reference.
+	sizes := make([]int, 300)
+	for i := range sizes {
+		sizes[i] = 8 + i%64
+	}
+	m := matrix.RandomRowSizes(300, 500, sizes, 61)
+	x := matrix.RandomVector(m.Cols, 62)
+	want := make([]float64, m.Rows)
+	m.SpMV(x, want)
+	f := NewVecCSR(m)
+	got := make([]float64, m.Rows)
+	f.SpMV(x, got)
+	if d := maxAbsDiff(got, want); d > 1e-9 {
+		t.Errorf("wide path forced on short rows: diff %g", d)
+	}
+
+	if prev := SetVecWideRowMin(0); prev != 8 {
+		t.Errorf("restore returned previous %d, want 8", prev)
+	}
+	if got := VecWideRowMin(); got != defaultVecWideRowMin {
+		t.Errorf("cutoff after restore = %d, want default %d", got, defaultVecWideRowMin)
+	}
+}

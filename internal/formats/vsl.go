@@ -260,3 +260,12 @@ func (f *VSL) SpMVParallel(x, y []float64, workers int) {
 		}
 	}
 }
+
+// MultiplyMany implements Format one vector at a time: the FPGA design
+// this format models streams one vector through the HBM channels, and a
+// fused variant would multiply the already megabyte-scale partial-vector
+// scratch by k.
+func (f *VSL) MultiplyMany(y, x []float64, k int) {
+	checkShapeMulti("VSL", f.rows, f.cols, y, x, k)
+	multiplyManyByColumn(f, y, x, k)
+}

@@ -18,13 +18,22 @@ type Partitioner func(rowPtr []int32, p int) []Range
 // `workers` total workers, applying `inner` within each domain's slice.
 // domains <= 1 degenerates to the plain single-level policy, so kernels
 // can call it unconditionally. Fewer ranges than workers may be returned
-// (degenerate slices collapse, like the single-level policies); when that
-// happens under pathological skew the engine's gang id blocks — computed
-// arithmetically as workers*j/domains — shift relative to the collapsed
-// range list, so a slice may execute on a neighboring domain's shard.
-// Results stay correct; only placement degrades, and only for matrices
-// whose skew already defeats per-domain balancing.
+// (degenerate slices collapse, like the single-level policies). Callers
+// that dispatch ganged placements should prefer DomainSplitOff, whose
+// offset table keeps collapsed partitions on their own domain's shard.
 func DomainSplit(rowPtr []int32, domains, workers int, inner Partitioner) []Range {
+	ranges, _ := DomainSplitOff(rowPtr, domains, workers, inner)
+	return ranges
+}
+
+// DomainSplitOff is DomainSplit plus the per-domain offset table into the
+// returned ranges: ranges[off[j]:off[j+1]] are domain j's ranges, with
+// len(off)-1 the number of domain slices actually produced (heavy skew can
+// collapse slices, so it may be below the requested domain count). The
+// execution engine dispatches gang id blocks by these offsets instead of
+// arithmetic workers*j/domains blocks, so a collapsed partition's ranges
+// still run on the shard pinned to their domain.
+func DomainSplitOff(rowPtr []int32, domains, workers int, inner Partitioner) ([]Range, []int) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -32,14 +41,17 @@ func DomainSplit(rowPtr []int32, domains, workers int, inner Partitioner) []Rang
 		domains = workers
 	}
 	if domains <= 1 {
-		return inner(rowPtr, workers)
+		out := inner(rowPtr, workers)
+		return out, []int{0, len(out)}
 	}
 	slices := NNZBalanced(rowPtr, domains)
 	d := len(slices) // heavy skew can collapse domain slices
 	if d <= 1 {
-		return inner(rowPtr, workers)
+		out := inner(rowPtr, workers)
+		return out, []int{0, len(out)}
 	}
 	out := make([]Range, 0, workers)
+	off := make([]int, 1, d+1)
 	for i, s := range slices {
 		p := workers*(i+1)/d - workers*i/d // fair share of the workers
 		if p < 1 {
@@ -54,8 +66,9 @@ func DomainSplit(rowPtr []int32, domains, workers int, inner Partitioner) []Rang
 				NNZLo: r.NNZLo + s.NNZLo, NNZHi: r.NNZHi + s.NNZLo,
 			})
 		}
+		off = append(off, len(out))
 	}
-	return out
+	return out, off
 }
 
 // rebase copies the row-pointer span covered by s into a zero-based
@@ -75,6 +88,13 @@ func rebase(rowPtr []int32, s Range) []int32 {
 // into `domains` contiguous near-equal spans, each split evenly among its
 // share of the workers. Like EvenRows, the NNZ fields count rows.
 func DomainEvenRows(rows, domains, workers int) []Range {
+	ranges, _ := DomainEvenRowsOff(rows, domains, workers)
+	return ranges
+}
+
+// DomainEvenRowsOff is DomainEvenRows plus the per-domain offset table into
+// the returned ranges (see DomainSplitOff).
+func DomainEvenRowsOff(rows, domains, workers int) ([]Range, []int) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -82,12 +102,14 @@ func DomainEvenRows(rows, domains, workers int) []Range {
 		domains = workers
 	}
 	if domains <= 1 {
-		return EvenRows(rows, workers)
+		out := EvenRows(rows, workers)
+		return out, []int{0, len(out)}
 	}
 	if rows == 0 {
-		return []Range{{0, 0, 0, 0}}
+		return []Range{{0, 0, 0, 0}}, []int{0, 1}
 	}
 	out := make([]Range, 0, workers)
+	off := make([]int, 1, domains+1)
 	for i := 0; i < domains; i++ {
 		dLo := rows * i / domains
 		dHi := rows * (i + 1) / domains
@@ -104,6 +126,7 @@ func DomainEvenRows(rows, domains, workers int) []Range {
 				NNZLo: r.NNZLo + int64(dLo), NNZHi: r.NNZHi + int64(dLo),
 			})
 		}
+		off = append(off, len(out))
 	}
-	return out
+	return out, off
 }

@@ -109,6 +109,79 @@ func TestDomainSplitSingleDomainMatchesInner(t *testing.T) {
 	}
 }
 
+// TestDomainSplitOffTable: the offset table must bracket exactly the
+// ranges produced for each domain slice — off[0] = 0, off monotone,
+// off[len(off)-1] = len(ranges) — and each domain's range group must cover
+// precisely that domain's row slice. This is the contract the engine's
+// ganged dispatch relies on to place collapsed partitions.
+func TestDomainSplitOffTable(t *testing.T) {
+	inners := map[string]Partitioner{"RowBlocks": RowBlocks, "NNZBalanced": NNZBalanced, "MergePath": MergePath}
+	for shape, lens := range propertyShapes() {
+		ptr := rowPtrFrom(lens)
+		for innerName, inner := range inners {
+			for _, d := range domainCounts {
+				for _, p := range propertyWorkerCounts {
+					ranges, off := DomainSplitOff(ptr, d, p, inner)
+					if len(off) < 2 || off[0] != 0 || off[len(off)-1] != len(ranges) {
+						t.Fatalf("%s/%s d=%d p=%d: bad offset table %v for %d ranges",
+							shape, innerName, d, p, off, len(ranges))
+					}
+					for j := 1; j < len(off); j++ {
+						if off[j] < off[j-1] {
+							t.Fatalf("%s/%s d=%d p=%d: offsets not monotone: %v", shape, innerName, d, p, off)
+						}
+					}
+					// Domain groups must be contiguous whole-row slabs: group
+					// j ends where group j+1 starts.
+					for j := 0; j+1 < len(off)-1; j++ {
+						if off[j+1] == off[j] || off[j+2] == off[j+1] {
+							continue // collapsed group (empty matrix artifact)
+						}
+						endJ := ranges[off[j+1]-1].RowHi
+						startNext := ranges[off[j+1]].RowLo
+						if endJ != startNext {
+							t.Errorf("%s/%s d=%d p=%d: domain %d ends at row %d, domain %d starts at %d",
+								shape, innerName, d, p, j, endJ, j+1, startNext)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDomainSplitOffPathologicalSkew is the gang-alignment regression: a
+// giant first row swallows several domains' fair shares, collapsing the
+// domain slicing, and the offset table must reflect the collapsed groups —
+// the arithmetic workers*j/domains blocks the engine used to dispatch with
+// would hand domain 1's ranges to domain 0's shard here.
+func TestDomainSplitOffPathologicalSkew(t *testing.T) {
+	// Row 0: 1e6 nonzeros; rows 1..11: one each.
+	lens := make([]int, 12)
+	lens[0] = 1_000_000
+	for i := 1; i < len(lens); i++ {
+		lens[i] = 1
+	}
+	ptr := rowPtrFrom(lens)
+	const domains, workers = 3, 6
+	ranges, off := DomainSplitOff(ptr, domains, workers, NNZBalanced)
+	if len(off)-1 >= domains {
+		t.Fatalf("skew did not collapse the domain slicing: %d groups, offsets %v", len(off)-1, off)
+	}
+	// The giant row must sit alone in the first group.
+	if off[1]-off[0] != 1 || ranges[0].RowHi != 1 {
+		t.Fatalf("first domain group = ranges[%d:%d] (%+v), want the giant row alone",
+			off[0], off[1], ranges[off[0]:off[1]])
+	}
+	// The arithmetic block for shard 0 (workers*1/groups ids) would cover
+	// ranges beyond the giant row — the misplacement this table fixes.
+	groups := len(off) - 1
+	if arith := workers * 1 / groups; arith <= off[1] {
+		t.Fatalf("skew case lost its teeth: arithmetic block end %d no longer exceeds offset %d",
+			arith, off[1])
+	}
+}
+
 func TestDomainEvenRowsProperties(t *testing.T) {
 	for _, rows := range []int{0, 1, 2, 5, 63, 64, 1000} {
 		for _, d := range domainCounts {

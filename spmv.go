@@ -85,6 +85,25 @@ func GenerateFromFeatures(fv Features, seed int64) (*Matrix, error) {
 // Formats returns every storage format builder, state-of-practice first.
 func Formats() []FormatBuilder { return formats.Registry() }
 
+// MultiplyMany computes Y = A*X for a block of k dense right-hand sides at
+// once (SpMM). X and Y are row-major: X holds k values per matrix column
+// (len cols*k) and Y k values per row (len rows*k). Hot formats (CSR
+// family, ELL, SELL-C-s, BCSR, DIA, COO) run fused register-tiled kernels
+// that stream the matrix once per tile of 4 vectors — every loaded nonzero
+// feeds k FMAs instead of one — on the same sharded execution engine as
+// the single-vector kernels; the remaining formats multiply one vector at
+// a time. This is the kernel block Krylov solvers and multi-query
+// inference issue per iteration.
+func MultiplyMany(f Format, y, x []float64, k int) { f.MultiplyMany(y, x, k) }
+
+// SetVecWideRowMin overrides the row-length cutoff at which the vectorized
+// CSR kernels switch to their 8-accumulator wide inner loop (default 512,
+// tuned for gather-bound x86; the SPMV_VEC_ROWMIN environment variable
+// overrides it without rebuilding). n <= 0 restores the default. Returns
+// the previous override (0 if none). Hosts with more load ports or cheaper
+// gathers can lower it after re-measuring — see docs/BENCHMARKS.md.
+func SetVecWideRowMin(n int) int { return formats.SetVecWideRowMin(n) }
+
 // FormatByName finds a format builder.
 func FormatByName(name string) (FormatBuilder, bool) { return formats.Lookup(name) }
 
