@@ -15,17 +15,22 @@
 //	-seed N                       sampling/generator seed
 //	-shards N                     execution-pool shards (0 = SPMV_SHARDS or
 //	                              detected topology domains)
-//	-rhs K                        right-hand sides for the spmm experiment;
-//	                              giving the flag with no experiment ids runs
-//	                              spmm alone
+//	-rhs K                        right-hand sides for the spmm and select
+//	                              experiments; giving the flag with no
+//	                              experiment ids runs spmm alone
+//	-format NAME                  restrict the native experiment to one
+//	                              format; "auto" runs the selection
+//	                              subsystem per matrix
 //	-csv DIR                      also write one CSV per report into DIR
 //	-json FILE                    also write all reports as JSON into FILE
 //
 // The JSON output is the machine-readable perf trajectory: for example,
 // `spmv-bench -sample 8 -json BENCH_spmv.json native` records the native
-// per-format GFLOPS quartiles measured on this host, and
+// per-format GFLOPS quartiles measured on this host,
 // `spmv-bench -rhs 8 -json BENCH_spmm.json` records the fused multi-vector
-// kernels' per-vector speedup over 8 sequential Multiply calls. Every run
+// kernels' per-vector speedup over 8 sequential Multiply calls, and
+// `spmv-bench -json BENCH_select.json select` records the auto-selection
+// subsystem's retained performance vs exhaustive search. Every run
 // appends a "shards" report with the execution engine's per-shard dispatch
 // counts and busy time, so concurrency behavior is visible alongside
 // kernel numbers.
@@ -41,6 +46,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/dataset"
+	"repro/internal/formats"
 	"repro/internal/topo"
 )
 
@@ -51,7 +57,8 @@ func main() {
 		devices = flag.String("devices", "", "comma-separated testbed names (default: all)")
 		seed    = flag.Int64("seed", 1, "sampling and generator seed")
 		shards  = flag.Int("shards", 0, "execution-pool shards (0 = SPMV_SHARDS or detected topology domains)")
-		rhs     = flag.Int("rhs", 0, "right-hand sides for the spmm experiment (0 = default 8)")
+		rhs     = flag.Int("rhs", 0, "right-hand sides for the spmm/select experiments (0 = default 8)")
+		format  = flag.String("format", "", "restrict the native experiment to one format (\"auto\" = selection subsystem)")
 		csvDir  = flag.String("csv", "", "directory to also write CSV reports into")
 		jsonOut = flag.String("json", "", "file to also write all reports into as JSON")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
@@ -91,8 +98,17 @@ func main() {
 		fatalf("bad -rhs %d (want >= 0)", *rhs)
 	}
 	opts.RHS = *rhs
+	if *format != "" && *format != "auto" {
+		if _, ok := formats.Lookup(*format); !ok {
+			fatalf("unknown format %q (use a registry name or \"auto\")", *format)
+		}
+	}
+	opts.Format = *format
 
 	ids := flag.Args()
+	if len(ids) == 0 && *format != "" {
+		ids = []string{"native"} // -format means: run the native sweep with it
+	}
 	if len(ids) == 0 && *rhs > 0 {
 		ids = []string{"spmm"} // -rhs alone means: run the multi-vector benchmark
 	}

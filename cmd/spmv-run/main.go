@@ -5,6 +5,11 @@
 //
 //	spmv-run -file matrix.mtx -format CSR5 -workers 8 -iters 64
 //	spmv-run -rows 200000 -avg 20 -skew 100     # generated matrix, all formats
+//	spmv-run -format auto -rhs 8                # let the selector choose for k=8
+//
+// -format auto invokes the selection subsystem: the five-feature vector is
+// extracted, the device model shortlists candidates for the -rhs regime, a
+// micro-probe times them on a row sample, and the measured winner runs.
 package main
 
 import (
@@ -13,17 +18,21 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/formats"
 	"repro/internal/gen"
 	"repro/internal/matrix"
+	"repro/internal/selector"
 )
 
 func main() {
 	var (
 		file    = flag.String("file", "", "MatrixMarket input (empty: generate)")
-		format  = flag.String("format", "", "single format to run (empty: all)")
+		format  = flag.String("format", "", "single format to run (empty: all; \"auto\": selection subsystem)")
+		rhs     = flag.Int("rhs", 1, "right-hand-side count the auto selector targets")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
 		iters   = flag.Int("iters", 32, "SpMV iterations to time")
 		rows    = flag.Int("rows", 200000, "generated matrix rows")
@@ -71,6 +80,40 @@ func main() {
 		}
 		fmt.Printf("%-10s %8.3f GFLOPS  (%d iters, %d workers, %.3fs)\n",
 			res.Format, res.GFLOPS, res.Iterations, res.Workers, res.Seconds)
+	}
+	if *format == "auto" {
+		af, err := selector.BuildAuto(m, selector.AutoOptions{K: *rhs, Probe: true})
+		if err != nil {
+			fatalf("auto selection: %v", err)
+		}
+		c := af.Choice()
+		fmt.Printf("auto: chose %s for k=%d on %s (shortlist %s, probed=%v, cached=%v)\n",
+			af.Chosen(), c.K, c.Device, strings.Join(c.Shortlist, " > "), c.Probed, c.Cached)
+		if *rhs > 1 {
+			// Measure the regime the selector actually targeted: one fused
+			// k-wide MultiplyMany per iteration, not k=1 SpMV.
+			k := *rhs
+			x := matrix.RandomVector(m.Cols*k, 12345)
+			y := make([]float64, m.Rows*k)
+			af.MultiplyMany(y, x, k) // warm-up, page-in, plan-cache fill
+			start := time.Now()
+			for i := 0; i < *iters; i++ {
+				af.MultiplyMany(y, x, k)
+			}
+			secs := time.Since(start).Seconds()
+			gflops := 0.0
+			if secs > 0 {
+				gflops = 2 * float64(m.NNZ()) * float64(k) * float64(*iters) / secs / 1e9
+			}
+			fmt.Printf("%-10s %8.3f GFLOPS  (%d iters of k=%d MultiplyMany, %.3fs)\n",
+				af.Name(), gflops, *iters, k, secs)
+			return
+		}
+		run(formats.Builder{
+			Name:  af.Name(),
+			Build: func(*matrix.CSR) (formats.Format, error) { return af, nil },
+		})
+		return
 	}
 	if *format != "" {
 		b, ok := formats.Lookup(*format)

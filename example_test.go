@@ -88,6 +88,50 @@ func ExampleFormatByName() {
 	// SELL-C-s stores 16000 nnz, matches CSR within 1e-9: true
 }
 
+// ExampleAuto lets the selection subsystem pick the storage format: the
+// five-feature vector is extracted, a k-regime-aware device model
+// shortlists candidates, and (with Probe) a micro-probe times them on a
+// row sample. The chosen format is a regular Format whose product matches
+// the CSR reference; which format wins depends on the host, so the
+// example checks the contract, not the name.
+func ExampleAuto() {
+	m, err := spmv.Generate(spmv.GeneratorParams{
+		Rows: 2000, Cols: 2000,
+		AvgNNZPerRow: 8, StdNNZPerRow: 2,
+		SkewCoeff: 5, BWScaled: 0.2,
+		CrossRowSim: 0.5, AvgNumNeigh: 1.0, Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	f, err := spmv.Auto(m, spmv.AutoOptions{K: 8}) // selecting for an 8-wide block workload
+	if err != nil {
+		panic(err)
+	}
+
+	const k = 8
+	x := make([]float64, m.Cols*k)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, m.Rows*k)
+	f.MultiplyMany(y, x, k)
+
+	want := make([]float64, m.Rows) // CSR reference product, all-ones RHS
+	m.SpMV(x[:m.Cols], want)
+	maxDiff := 0.0
+	for r := 0; r < m.Rows; r++ {
+		for t := 0; t < k; t++ {
+			maxDiff = math.Max(maxDiff, math.Abs(y[r*k+t]-want[r]))
+		}
+	}
+	choice := f.Choice()
+	fmt.Printf("auto chose a shortlisted format for k=%d, matches CSR within 1e-9: %v\n",
+		choice.K, maxDiff < 1e-9)
+	// Output:
+	// auto chose a shortlisted format for k=8, matches CSR within 1e-9: true
+}
+
 // ExampleMultiplyMany multiplies a block of 8 right-hand sides in one
 // fused pass (SpMM) and checks it against 8 independent SpMV calls — the
 // baseline it outperforms by reusing every loaded nonzero 8 times.

@@ -16,7 +16,8 @@ type Options struct {
 	Seed    int64    // sampling and generator seed
 	Devices []string // restrict to these testbeds (nil: all nine)
 	Workers int      // native engine worker count (0: GOMAXPROCS)
-	RHS     int      // right-hand sides for the spmm experiment (0: DefaultRHS)
+	RHS     int      // right-hand sides for the spmm/select experiments (0: DefaultRHS)
+	Format  string   // restrict the native experiment to one format; "auto" selects per matrix
 }
 
 // DefaultOptions runs the full medium (16200-point) dataset on all devices,
@@ -131,6 +132,7 @@ func Experiments() []Experiment {
 		{"fig9", "Regularity evolution under fixed features (Fig 9)", RunFig9},
 		{"native", "Native-engine format comparison on this host", RunNative},
 		{"spmm", "Fused multi-vector SpMV (SpMM) vs sequential baseline", RunSpMM},
+		{"select", "Auto format selection vs exhaustive search (retained performance)", RunSelect},
 	}
 }
 

@@ -1,0 +1,84 @@
+package cache
+
+import "sync"
+
+// DecisionKey identifies one auto-format decision context. A decision is
+// only reusable when everything that influenced it recurs: the sparsity
+// structure (matrix fingerprint), the device the ranking targeted, the
+// RHS-count regime (k = 1 and k = 8 rank formats differently), and the
+// execution-engine shard layout a micro-probe measured under.
+type DecisionKey struct {
+	Fingerprint uint64 // matrix.CSR.Fingerprint()
+	Device      string // device.Spec.Name consulted for the ranking
+	K           int    // right-hand-side count the choice targets
+	Shards      int    // topo.Shards() at decision time
+}
+
+// Decision is one cached format choice.
+type Decision struct {
+	Format string // chosen format name
+	Probed bool   // a micro-probe measurement backed the choice
+}
+
+// DecisionCache is a concurrency-safe store of auto-format decisions. The
+// zero value is not usable; construct with NewDecisionCache. A plain
+// mutex guards the map: every operation (including Get, which bumps the
+// hit/miss counters) writes, so a reader/writer lock would buy nothing.
+type DecisionCache struct {
+	mu     sync.Mutex
+	m      map[DecisionKey]Decision
+	hits   uint64
+	misses uint64
+}
+
+// NewDecisionCache returns an empty decision cache.
+func NewDecisionCache() *DecisionCache {
+	return &DecisionCache{m: make(map[DecisionKey]Decision)}
+}
+
+// Decisions is the process-wide cache the selection subsystem consults by
+// default, so repeated Auto builds of the same matrix under the same
+// (device, k, shards) context skip ranking and probing entirely.
+var Decisions = NewDecisionCache()
+
+// Get returns the cached decision for the key, if any.
+func (c *DecisionCache) Get(k DecisionKey) (Decision, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.m[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return d, ok
+}
+
+// Put stores (or replaces) the decision for the key.
+func (c *DecisionCache) Put(k DecisionKey, d Decision) {
+	c.mu.Lock()
+	c.m[k] = d
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached decisions.
+func (c *DecisionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *DecisionCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Clear drops every cached decision and resets the counters.
+func (c *DecisionCache) Clear() {
+	c.mu.Lock()
+	c.m = make(map[DecisionKey]Decision)
+	c.hits, c.misses = 0, 0
+	c.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDecisionCacheBasics(t *testing.T) {
+	c := NewDecisionCache()
+	key := DecisionKey{Fingerprint: 42, Device: "host", K: 8, Shards: 2}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Put(key, Decision{Format: "SELL-C-s", Probed: true})
+	d, ok := c.Get(key)
+	if !ok || d.Format != "SELL-C-s" || !d.Probed {
+		t.Fatalf("got %+v ok=%v", d, ok)
+	}
+	// Every key component separates decisions.
+	variants := []DecisionKey{
+		{Fingerprint: 43, Device: "host", K: 8, Shards: 2},
+		{Fingerprint: 42, Device: "AMD-EPYC-24", K: 8, Shards: 2},
+		{Fingerprint: 42, Device: "host", K: 1, Shards: 2},
+		{Fingerprint: 42, Device: "host", K: 8, Shards: 4},
+	}
+	for _, v := range variants {
+		if _, ok := c.Get(v); ok {
+			t.Errorf("key %+v should not alias the stored decision", v)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 5 {
+		t.Errorf("stats = %d hits / %d misses, want 1/5", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Error("clear left entries")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Error("clear left counters")
+	}
+}
+
+func TestDecisionCacheConcurrent(t *testing.T) {
+	c := NewDecisionCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := DecisionKey{Fingerprint: uint64(i % 16), K: g % 3}
+				c.Put(k, Decision{Format: "CSR"})
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() == 0 {
+		t.Error("no decisions survived")
+	}
+}

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/cache"
@@ -91,19 +92,72 @@ func (s Spec) Estimate(fv core.FeatureVector, formatName string) Result {
 	return r
 }
 
+// fallbackMultiEff is the per-vector efficiency of the by-column SpMM
+// fallback relative to k independent single-vector calls: the fallback
+// pays a dense gather of X and scatter of Y per vector on top of the
+// kernel proper.
+const fallbackMultiEff = 0.92
+
+// EstimateMulti predicts performance and power for a k-wide multi-vector
+// SpMV (SpMM) pass in the named format — the RHS-count axis of the model.
+// Result.GFLOPS counts all 2*k*nnz flops, so values are comparable across
+// formats at fixed k and show the fusion speedup over Estimate directly.
+//
+// Formats with fused MultiplyMany kernels stream the matrix once per pass
+// and reuse every loaded nonzero k times, so their arithmetic intensity
+// (core.FeatureVector.OperationalIntensityMulti) — and modeled rate —
+// grows with k until the X/Y block traffic dominates. Formats on the
+// by-column fallback execute k sequential single-vector passes and keep
+// their k = 1 rate minus the block copy overhead. This asymmetry is what
+// flips the win-rate ordering between regimes (e.g. ELL's padding skip
+// promotes it under SpMM; CSR5 falls behind its k = 1 rank).
+func (s Spec) EstimateMulti(fv core.FeatureVector, formatName string, k int) Result {
+	if k <= 1 {
+		return s.Estimate(fv, formatName)
+	}
+	if !formats.EstimateFeasible(formatName, fv) {
+		return Result{Feasible: false, Reason: formatName + ": structure-hostile build rejected"}
+	}
+	tr, fused := formats.MultiTraits(formatName, fv, k)
+	if !fused {
+		r := s.estimateWithTraitsK(fv, tr, 1)
+		if !r.Feasible {
+			return r
+		}
+		r.GFLOPS *= fallbackMultiEff
+		r.GFLOPS *= 1 + jitterK(s.Name, formatName, fv, k)*jitterAmp
+		return r
+	}
+	r := s.estimateWithTraitsK(fv, tr, k)
+	if r.Feasible {
+		r.GFLOPS *= 1 + jitterK(s.Name, formatName, fv, k)*jitterAmp
+	}
+	return r
+}
+
 // EstimateWithTraits predicts performance and power from explicit traits
 // (measured from a built format, or estimated).
 func (s Spec) EstimateWithTraits(fv core.FeatureVector, tr formats.Traits) Result {
+	return s.estimateWithTraitsK(fv, tr, 1)
+}
+
+// estimateWithTraitsK is EstimateWithTraits with the RHS-count axis; k = 1
+// reproduces the single-vector model exactly. The FPGA model has no fused
+// SpMM kernel (VSL runs the by-column fallback), so it only sees k = 1.
+func (s Spec) estimateWithTraitsK(fv core.FeatureVector, tr formats.Traits, k int) Result {
 	if fv.NNZ == 0 {
 		return Result{Feasible: false, Reason: "empty matrix"}
 	}
+	if k < 1 {
+		k = 1
+	}
 	switch s.Class {
 	case GPU:
-		return s.estimateGPU(fv, tr)
+		return s.estimateGPU(fv, tr, k)
 	case FPGA:
 		return s.estimateFPGA(fv, tr)
 	default:
-		return s.estimateCPU(fv, tr)
+		return s.estimateCPU(fv, tr, k)
 	}
 }
 
@@ -145,25 +199,40 @@ func imbalanceFactor(fv core.FeatureVector, tr formats.Traits, workers int) floa
 }
 
 // ilpEfficiency models the low-ILP bottleneck: short rows spend cycles on
-// loop control instead of FMAs.
-func ilpEfficiency(fv core.FeatureVector, tr formats.Traits) float64 {
+// loop control instead of FMAs. Fused k-wide kernels amortize loop control
+// over a register tile of up to 4 vectors, so their effective per-flop
+// overhead shrinks with min(k, 4).
+func ilpEfficiency(fv core.FeatureVector, tr formats.Traits, k int) float64 {
 	overhead := rowOverheadScalar
 	if tr.Vectorizable {
 		overhead = rowOverheadVector
+	}
+	if k > 1 {
+		tile := math.Min(float64(k), 4)
+		overhead /= tile
 	}
 	avg := math.Max(fv.AvgNNZPerRow, 1)
 	return avg / (avg + overhead)
 }
 
-func (s Spec) estimateCPU(fv core.FeatureVector, tr formats.Traits) Result {
+// xBlockLineFactor scales per-miss x traffic with k: a k-wide row-major X
+// block keeps one nonzero's k operands contiguous, so a miss fetches
+// ceil(8k/line) lines instead of k scattered ones — for k <= 8 the same
+// single line that a k = 1 gather pays.
+func xBlockLineFactor(k int, grainBytes float64) float64 {
+	return math.Max(1, 8*float64(k)/grainBytes)
+}
+
+func (s Spec) estimateCPU(fv core.FeatureVector, tr formats.Traits, k int) Result {
+	kk := float64(k)
 	hit := cache.XVectorHitRate(fv, s.LLCBytes)
-	xBytes := float64(fv.NNZ) * (1 - hit) * cache.LineBytes
-	yBytes := 16 * float64(fv.Rows) // streamed out and written back
+	xBytes := float64(fv.NNZ) * (1 - hit) * cache.LineBytes * xBlockLineFactor(k, cache.LineBytes)
+	yBytes := 16 * float64(fv.Rows) * kk // streamed out and written back
 	total := streamBytes(fv, tr) + yBytes + xBytes
 
 	// LLC residency decides which bandwidth the stream runs at; this is the
 	// Fig. 3 cliff at the cache size.
-	workingSet := streamBytes(fv, tr) + 8*float64(fv.Cols+fv.Rows)
+	workingSet := streamBytes(fv, tr) + 8*float64(fv.Cols+fv.Rows)*kk
 	resident := clamp01(llcUsable * float64(s.LLCBytes) / workingSet)
 	tMem := total * (resident/(s.LLCBWGBs*cpuLLCStreamEff*1e9) +
 		(1-resident)/(s.MemBWGBs*cpuDRAMStreamEff*1e9))
@@ -172,8 +241,8 @@ func (s Spec) estimateCPU(fv core.FeatureVector, tr formats.Traits) Result {
 	if tr.Vectorizable {
 		lanes = float64(s.LanesPerU)
 	}
-	ilp := ilpEfficiency(fv, tr)
-	tCompute := float64(fv.NNZ) / (float64(s.Units) * lanes * s.FreqGHz * 1e9 * ilp)
+	ilp := ilpEfficiency(fv, tr, k)
+	tCompute := kk * float64(fv.NNZ) / (float64(s.Units) * lanes * s.FreqGHz * 1e9 * ilp)
 
 	// Short rows break the stream into tiny bursts that defeat the
 	// prefetchers, so even the memory-bound path degrades with low ILP —
@@ -184,7 +253,7 @@ func (s Spec) estimateCPU(fv core.FeatureVector, tr formats.Traits) Result {
 	t := math.Max(tMem, tCompute) * ifactor
 
 	res := Result{Feasible: true}
-	res.GFLOPS = 2 * float64(fv.NNZ) / t / 1e9
+	res.GFLOPS = 2 * kk * float64(fv.NNZ) / t / 1e9
 	res.Bottleneck = classify(tMem, tCompute, ifactor, xBytes, total, ilp)
 
 	// Cache-resident runs push the package toward its envelope (cores and
@@ -197,29 +266,32 @@ func (s Spec) estimateCPU(fv core.FeatureVector, tr formats.Traits) Result {
 	return res
 }
 
-func (s Spec) estimateGPU(fv core.FeatureVector, tr formats.Traits) Result {
-	// Device-memory capacity gate (matrix + vectors must fit).
-	needed := streamBytes(fv, tr) + 8*float64(fv.Rows+fv.Cols)
+func (s Spec) estimateGPU(fv core.FeatureVector, tr formats.Traits, k int) Result {
+	kk := float64(k)
+	// Device-memory capacity gate (matrix + vector blocks must fit).
+	needed := streamBytes(fv, tr) + 8*kk*float64(fv.Rows+fv.Cols)
 	if s.MemCapBytes > 0 && needed > float64(s.MemCapBytes) {
 		return Result{Feasible: false, Reason: "matrix exceeds device memory"}
 	}
 
 	// The small L2 is mostly occupied by the matrix stream; x gets a slice.
 	hit := cache.XVectorHitRate(fv, int64(float64(s.LLCBytes)*gpuXCacheShare))
-	// Gathers fetch 32-byte sectors; clustered columns coalesce.
+	// Gathers fetch 32-byte sectors; clustered columns coalesce. A k-wide
+	// block gathers ceil(8k/sector) contiguous sectors per miss.
 	coalesce := 0.5 + 0.5*clamp01(fv.AvgNumNeigh/2)
-	xBytes := float64(fv.NNZ) * (1 - hit) * gpuSectorBytes / coalesce
-	rowBytes := 16 * float64(fv.Rows) // row descriptors + y update
+	xBytes := float64(fv.NNZ) * (1 - hit) * gpuSectorBytes * xBlockLineFactor(k, gpuSectorBytes) / coalesce
+	rowBytes := 8*float64(fv.Rows) + 8*kk*float64(fv.Rows) // row descriptors + y update
 	total := streamBytes(fv, tr) + rowBytes + xBytes + gpuKernelOverheadByte*float64(fv.NNZ)
 
 	// Parallelism ramp: the matrix must expose enough work to fill the
-	// device (Fig. 3: GPUs favor large matrices, up to ~2x).
-	work := float64(fv.NNZ)
+	// device (Fig. 3: GPUs favor large matrices, up to ~2x). A k-wide pass
+	// exposes k times the work.
+	work := kk * float64(fv.NNZ)
 	util := work / (work + float64(s.Units)*gpuRampPerUnit)
 
 	tMem := total / (s.MemBWGBs * 1e9 * gpuStreamEff * util)
-	ilp := ilpEfficiency(fv, tr)
-	tCompute := float64(fv.NNZ) / (float64(s.Units) * s.FreqGHz * 1e9 * util * ilp)
+	ilp := ilpEfficiency(fv, tr, k)
+	tCompute := kk * float64(fv.NNZ) / (float64(s.Units) * s.FreqGHz * 1e9 * util * ilp)
 
 	// Warp-level scheduling hides skew well for the balanced formats; the
 	// row-granular ones still serialize giant rows on single warps.
@@ -228,7 +300,7 @@ func (s Spec) estimateGPU(fv core.FeatureVector, tr formats.Traits) Result {
 	t := math.Max(tMem, tCompute) * ifactor
 
 	res := Result{Feasible: true}
-	res.GFLOPS = 2 * float64(fv.NNZ) / t / 1e9
+	res.GFLOPS = 2 * kk * float64(fv.NNZ) / t / 1e9
 	res.Bottleneck = classify(tMem, tCompute, ifactor, xBytes, total, ilp)
 	busy := math.Max(tMem, tCompute)
 	putil := util * (0.5 + 0.5*math.Min(tCompute/busy, 1)) / ifactor
@@ -302,8 +374,15 @@ func (s Spec) Roof() roofline.Roof {
 // best-performing feasible one, as the paper reports "best result achieved
 // among tested formats". ok is false when no format is feasible.
 func (s Spec) BestFormat(fv core.FeatureVector) (name string, best Result, ok bool) {
+	return s.BestFormatK(fv, 1)
+}
+
+// BestFormatK is BestFormat on the k-wide SpMM axis: the exhaustive-search
+// ground truth of the k-regime, against which the selection subsystem's
+// retained performance is scored.
+func (s Spec) BestFormatK(fv core.FeatureVector, k int) (name string, best Result, ok bool) {
 	for _, f := range s.Formats {
-		r := s.Estimate(fv, f)
+		r := s.EstimateMulti(fv, f, k)
 		if !r.Feasible {
 			continue
 		}
@@ -314,6 +393,12 @@ func (s Spec) BestFormat(fv core.FeatureVector) (name string, best Result, ok bo
 		}
 	}
 	return name, best, ok
+}
+
+// jitterK is jitter with the RHS-count regime mixed in, so k = 1 and k = 8
+// estimates of one configuration do not share their noise sample.
+func jitterK(device, format string, fv core.FeatureVector, k int) float64 {
+	return jitter(device, fmt.Sprintf("%s#k%d", format, k), fv)
 }
 
 // jitter returns a deterministic pseudo-random value in [-1, 1] derived

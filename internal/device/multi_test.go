@@ -1,0 +1,87 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/formats"
+)
+
+// TestEstimateMultiK1Identity pins the refactoring invariant: the k-aware
+// model at k = 1 (and k = 0) is exactly the single-vector model.
+func TestEstimateMultiK1Identity(t *testing.T) {
+	for _, s := range Testbeds() {
+		for _, fv := range dataset.Small.Sample(40, 9) {
+			for _, f := range s.Formats {
+				want := s.Estimate(fv, f)
+				for _, k := range []int{0, 1} {
+					got := s.EstimateMulti(fv, f, k)
+					if got != want {
+						t.Fatalf("%s/%s k=%d: EstimateMulti %+v != Estimate %+v", s.Name, f, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateMultiFusedGains checks the fused/fallback asymmetry: a fused
+// format's aggregate k = 8 rate must exceed its k = 1 rate (the matrix
+// stream is amortized over 8 vectors), while a fallback format must not
+// gain beyond its k = 1 rate.
+func TestEstimateMultiFusedGains(t *testing.T) {
+	s, ok := ByName("AMD-EPYC-24")
+	if !ok {
+		t.Fatal("missing testbed")
+	}
+	fv := dataset.Point(256, 20, 0, 0.5, 0.5, 0.3)
+	for _, f := range s.Formats {
+		r1 := s.Estimate(fv, f)
+		r8 := s.EstimateMulti(fv, f, 8)
+		if !r1.Feasible || !r8.Feasible {
+			continue
+		}
+		if formats.FusedMulti(f) {
+			if r8.GFLOPS <= r1.GFLOPS*1.2 {
+				t.Errorf("%s (fused): k=8 %.1f GFLOPS vs k=1 %.1f — expected a clear fusion gain",
+					f, r8.GFLOPS, r1.GFLOPS)
+			}
+		} else {
+			// jitter spans ±6% per regime, so allow ~13% slack.
+			if r8.GFLOPS > r1.GFLOPS*1.15 {
+				t.Errorf("%s (fallback): k=8 %.1f GFLOPS vs k=1 %.1f — fallback must not gain from k",
+					f, r8.GFLOPS, r1.GFLOPS)
+			}
+		}
+	}
+}
+
+// TestBestFormatKConsistent checks BestFormatK degenerates to BestFormat
+// at k = 1 and returns a device-offered feasible format at k = 8.
+func TestBestFormatKConsistent(t *testing.T) {
+	for _, s := range Testbeds() {
+		for _, fv := range dataset.Small.Sample(30, 13) {
+			n1, r1, ok1 := s.BestFormat(fv)
+			n1k, r1k, ok1k := s.BestFormatK(fv, 1)
+			if ok1 != ok1k || n1 != n1k || r1 != r1k {
+				t.Fatalf("%s: BestFormat != BestFormatK(1)", s.Name)
+			}
+			n8, r8, ok8 := s.BestFormatK(fv, 8)
+			if !ok8 {
+				continue
+			}
+			if !r8.Feasible {
+				t.Fatalf("%s: best k=8 format %q infeasible", s.Name, n8)
+			}
+			offered := false
+			for _, f := range s.Formats {
+				if f == n8 {
+					offered = true
+				}
+			}
+			if !offered {
+				t.Fatalf("%s: best k=8 format %q not offered", s.Name, n8)
+			}
+		}
+	}
+}

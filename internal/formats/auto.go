@@ -1,0 +1,77 @@
+package formats
+
+import (
+	"repro/internal/core"
+)
+
+// fusedMulti names the formats whose MultiplyMany is a fused register-tiled
+// kernel (every loaded nonzero feeds k FMAs); the rest run the by-column
+// fallback, one single-vector kernel call per right-hand side.
+var fusedMulti = map[string]bool{
+	"Naive-CSR": true, "Vec-CSR": true, "Bal-CSR": true, "MKL-IE": true,
+	"Merge-CSR": true, "ELL": true, "SELL-C-s": true, "BCSR": true,
+	"DIA": true, "COO": true,
+}
+
+// FusedMulti reports whether the named format multiplies a k-wide block of
+// right-hand sides in one fused pass over the matrix. Fused formats gain
+// arithmetic intensity with k (the matrix stream is amortized over k
+// vectors); fallback formats keep their single-vector rate, which is why
+// the k = 1 and k > 1 regimes rank formats differently.
+func FusedMulti(name string) bool { return fusedMulti[name] }
+
+// MultiTraits returns the traits the named format presents to a k-wide
+// SpMM pass, plus whether that pass is fused. Today the traits equal
+// EstimateTraits for every format: the fused ELL kernel's rowLen table
+// does skip tail padding (it never reads padded slots), but on skewed
+// matrices the column-major stride then wastes most of each loaded cache
+// line on the surviving long rows, which measurement shows roughly
+// cancels the skip — so ELL honestly presents its padded k = 1 traits.
+// The k-regime ranking flip comes from the fused/fallback asymmetry the
+// second return value feeds into device.Spec.EstimateMulti: fused formats
+// amortize the matrix stream over k vectors, fallback formats do not.
+func MultiTraits(name string, fv core.FeatureVector, k int) (Traits, bool) {
+	return EstimateTraits(name, fv), FusedMulti(name)
+}
+
+// AutoChoice records how the selection subsystem arrived at a format
+// choice. It is attached to the Auto wrapper so callers (CLIs, benchmarks,
+// tests) can see the decision, not just its result.
+type AutoChoice struct {
+	Format    string             // chosen format name
+	Device    string             // device spec consulted for the ranking
+	K         int                // RHS-count regime of the decision
+	Shards    int                // engine shard layout at decision time
+	Shortlist []string           // model ranking, best first
+	Probed    bool               // a micro-probe timed the shortlist
+	Cached    bool               // decision came from the decision cache
+	ProbeNs   map[string]float64 // measured ns/op per probed candidate
+}
+
+// Auto is the storage format produced by the selection subsystem: a thin
+// wrapper that delegates every kernel to the concrete format the selector
+// chose, carrying the decision record alongside. Numerically, an Auto is
+// bit-identical to its chosen format — only Name is overridden so reports
+// show the choice was automatic.
+type Auto struct {
+	Format
+	choice AutoChoice
+}
+
+// NewAuto wraps the chosen concrete format with its decision record.
+func NewAuto(f Format, choice AutoChoice) *Auto {
+	choice.Format = f.Name()
+	return &Auto{Format: f, choice: choice}
+}
+
+// Name identifies the wrapper and the concrete choice, e.g. "Auto[CSR5]".
+func (a *Auto) Name() string { return "Auto[" + a.Format.Name() + "]" }
+
+// Chosen returns the chosen concrete format's name.
+func (a *Auto) Chosen() string { return a.Format.Name() }
+
+// Choice returns the full decision record.
+func (a *Auto) Choice() AutoChoice { return a.choice }
+
+// Unwrap returns the chosen concrete format.
+func (a *Auto) Unwrap() Format { return a.Format }

@@ -1,0 +1,118 @@
+package formats
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+func autoTestMatrix(t *testing.T) *matrix.CSR {
+	t.Helper()
+	m, err := gen.Generate(gen.Params{
+		Rows: 3000, Cols: 3000,
+		AvgNNZPerRow: 12, StdNNZPerRow: 4,
+		SkewCoeff: 8, BWScaled: 0.4, CrossRowSim: 0.5, AvgNumNeigh: 0.9,
+		Seed: 99,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return m
+}
+
+// TestAutoWrapperEquivalence verifies the Auto wrapper is numerically
+// transparent for every registry format: wrapping adds a name and a
+// decision record, nothing else — SpMV, SpMVParallel and MultiplyMany
+// must be bit-identical to a separately built concrete instance.
+func TestAutoWrapperEquivalence(t *testing.T) {
+	m := autoTestMatrix(t)
+	for _, b := range Registry() {
+		inner, err := b.Build(m)
+		if err != nil {
+			continue // e.g. DIA refuses scattered sparsity
+		}
+		direct, err := b.Build(m)
+		if err != nil {
+			t.Fatalf("%s: second build failed: %v", b.Name, err)
+		}
+		a := NewAuto(inner, AutoChoice{K: 1, Device: "test"})
+		if a.Chosen() != b.Name {
+			t.Fatalf("Chosen() = %q, want %q", a.Chosen(), b.Name)
+		}
+		if want := "Auto[" + b.Name + "]"; a.Name() != want {
+			t.Fatalf("Name() = %q, want %q", a.Name(), want)
+		}
+		if a.Unwrap() != inner {
+			t.Fatalf("%s: Unwrap returned a different instance", b.Name)
+		}
+		x := matrix.RandomVector(m.Cols, 5)
+		yA := make([]float64, m.Rows)
+		yD := make([]float64, m.Rows)
+		a.SpMV(x, yA)
+		direct.SpMV(x, yD)
+		for i := range yA {
+			if yA[i] != yD[i] {
+				t.Fatalf("%s: serial SpMV diverges at row %d", b.Name, i)
+			}
+		}
+		a.SpMVParallel(x, yA, 4)
+		direct.SpMVParallel(x, yD, 4)
+		for i := range yA {
+			if yA[i] != yD[i] {
+				t.Fatalf("%s: parallel SpMV diverges at row %d", b.Name, i)
+			}
+		}
+		for _, k := range []int{1, 4, 8} {
+			xk := matrix.RandomVector(m.Cols*k, 7)
+			ykA := make([]float64, m.Rows*k)
+			ykD := make([]float64, m.Rows*k)
+			a.MultiplyMany(ykA, xk, k)
+			direct.MultiplyMany(ykD, xk, k)
+			for i := range ykA {
+				if ykA[i] != ykD[i] {
+					t.Fatalf("%s k=%d: MultiplyMany diverges at %d", b.Name, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFusedMultiMatchesKernels(t *testing.T) {
+	// The fused set must cover exactly the formats whose MultiplyMany is
+	// not the by-column fallback (see multi.go); drift here would skew the
+	// k-regime device model.
+	fused := []string{"Naive-CSR", "Vec-CSR", "Bal-CSR", "MKL-IE", "Merge-CSR",
+		"ELL", "SELL-C-s", "BCSR", "DIA", "COO"}
+	fallback := []string{"HYB", "CSR5", "SparseX", "VSL"}
+	for _, n := range fused {
+		if !FusedMulti(n) {
+			t.Errorf("FusedMulti(%q) = false, want true", n)
+		}
+	}
+	for _, n := range fallback {
+		if FusedMulti(n) {
+			t.Errorf("FusedMulti(%q) = true, want false", n)
+		}
+	}
+	if len(fused)+len(fallback) != len(Registry()) {
+		t.Errorf("fused+fallback = %d formats, registry has %d", len(fused)+len(fallback), len(Registry()))
+	}
+}
+
+func TestMultiTraitsMatchesEstimate(t *testing.T) {
+	m := autoTestMatrix(t)
+	fv := core.Extract(m)
+	for _, b := range Registry() {
+		for _, k := range []int{1, 8} {
+			tr, fused := MultiTraits(b.Name, fv, k)
+			if tr != EstimateTraits(b.Name, fv) {
+				t.Errorf("%s k=%d: MultiTraits diverges from EstimateTraits", b.Name, k)
+			}
+			if fused != FusedMulti(b.Name) {
+				t.Errorf("%s: fused flag mismatch", b.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package matrix
+
+import "testing"
+
+func sampleTestMatrix(t *testing.T) *CSR {
+	t.Helper()
+	m := Tridiagonal(1000, 2, -1)
+	return m
+}
+
+func TestFingerprintStableAndStructural(t *testing.T) {
+	m := sampleTestMatrix(t)
+	fp := m.Fingerprint()
+	if fp == 0 {
+		t.Fatal("zero fingerprint")
+	}
+	if m.Fingerprint() != fp {
+		t.Fatal("fingerprint not deterministic")
+	}
+	// Values do not change the structure, so not the fingerprint.
+	c := m.Clone()
+	for i := range c.Val {
+		c.Val[i] *= 3.5
+	}
+	if c.Fingerprint() != fp {
+		t.Error("value change altered the structural fingerprint")
+	}
+	// Structure changes do.
+	c2 := m.Clone()
+	c2.ColIdx[len(c2.ColIdx)-1]-- // move the last entry one column left
+	if c2.Fingerprint() == fp {
+		t.Error("structural change kept the fingerprint")
+	}
+	if Tridiagonal(999, 2, -1).Fingerprint() == fp {
+		t.Error("different shape kept the fingerprint")
+	}
+	// Degenerate matrices fingerprint without panicking.
+	empty, err := NewCSR(0, 0, []int32{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = empty.Fingerprint()
+}
+
+func TestRowSample(t *testing.T) {
+	m := sampleTestMatrix(t)
+	s := m.RowSample(100)
+	if s.Rows < 100 || s.Rows > 101 {
+		t.Fatalf("sampled %d rows, want ~100", s.Rows)
+	}
+	if s.Cols != m.Cols {
+		t.Fatalf("sample changed cols: %d != %d", s.Cols, m.Cols)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("sample invalid: %v", err)
+	}
+	// Sampled rows are exact copies of their originals (stride order).
+	stride := (m.Rows + 99) / 100
+	for si := 0; si < s.Rows; si++ {
+		wantCols, wantVals := m.Row(si * stride)
+		gotCols, gotVals := s.Row(si)
+		if len(gotCols) != len(wantCols) {
+			t.Fatalf("row %d: %d entries, want %d", si, len(gotCols), len(wantCols))
+		}
+		for j := range gotCols {
+			if gotCols[j] != wantCols[j] || gotVals[j] != wantVals[j] {
+				t.Fatalf("row %d entry %d differs", si, j)
+			}
+		}
+	}
+	// No-op cases return the receiver.
+	if m.RowSample(0) != m || m.RowSample(m.Rows) != m || m.RowSample(m.Rows*2) != m {
+		t.Error("no-op sample should return the original matrix")
+	}
+}

@@ -1,0 +1,186 @@
+package selector
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/formats"
+	"repro/internal/matrix"
+	"repro/internal/topo"
+)
+
+// DefaultShortlist is how many candidate formats the model ranking keeps
+// for a possible micro-probe: the paper's analysis shows the best format
+// is almost always within the model's top few, so probing more buys
+// little and costs linearly.
+const DefaultShortlist = 3
+
+// autoProbeMinNNZ is the matrix size below which BuildAuto skips probing:
+// tiny matrices run in the serial fast path where every format costs
+// about the same, and the probe's timing floor would dominate the build.
+const autoProbeMinNNZ = 1 << 14
+
+// AutoOptions configures BuildAuto.
+type AutoOptions struct {
+	// K is the expected right-hand-side count of the workload (0 or 1:
+	// single-vector SpMV). The k = 1 and k > 1 regimes rank formats
+	// differently, so a block solver should pass its block width.
+	K int
+	// Device names the testbed whose model ranks candidates; "" targets
+	// the host (device.HostSpec), which offers all fourteen formats.
+	Device string
+	// Shortlist is how many formats the model ranking keeps (0: 3).
+	Shortlist int
+	// Probe refines the model's choice by timing the shortlist on a
+	// row-sampled sub-matrix through the execution engine and picking the
+	// measured winner. Costs a few milliseconds per candidate; worth it
+	// for any matrix that will be multiplied more than a handful of times.
+	Probe bool
+	// SampleRows overrides the probe sub-matrix row budget (0: 8192).
+	SampleRows int
+	// Cache overrides the decision cache (nil: the process-wide
+	// cache.Decisions). Decisions are keyed by (matrix fingerprint,
+	// device, k, shards), so repeated builds of one matrix under one
+	// context skip ranking and probing.
+	Cache *cache.DecisionCache
+	// NoCache disables decision caching entirely (benchmarks that must
+	// observe the full pipeline every time).
+	NoCache bool
+}
+
+// BuildAuto selects a storage format for the matrix and builds it: the
+// paper's feature analysis driving execution. The pipeline is
+//
+//  1. extract the five-feature vector (core.Extract);
+//  2. consult the decision cache keyed by (fingerprint, device, k, shards);
+//  3. on a miss, shortlist candidates by the k-regime device model
+//     (device.Spec.EstimateMulti ranking, plus the RulesK pick);
+//  4. optionally micro-probe the shortlist — time each candidate on a
+//     row-sampled sub-matrix through the execution engine — and keep the
+//     measured winner;
+//  5. build the winner, falling down the shortlist (and ultimately to
+//     Naive-CSR) if a build refuses the matrix, and cache the decision.
+//
+// The returned Auto delegates every kernel to the chosen format and
+// carries the decision record. BuildAuto lives here rather than in
+// internal/formats because selection consults the device models, which
+// themselves build on formats' trait estimates.
+func BuildAuto(m *matrix.CSR, o AutoOptions) (*formats.Auto, error) {
+	k := o.K
+	if k < 1 {
+		k = 1
+	}
+	spec := device.HostSpec()
+	if o.Device != "" {
+		s, ok := device.ByName(o.Device)
+		if !ok {
+			return nil, fmt.Errorf("selector: unknown device %q", o.Device)
+		}
+		spec = s
+	}
+	dc := o.Cache
+	if dc == nil {
+		dc = cache.Decisions
+	}
+	choice := formats.AutoChoice{
+		Device: spec.Name,
+		K:      k,
+		Shards: topo.Shards(),
+	}
+
+	key := cache.DecisionKey{
+		Fingerprint: m.Fingerprint(),
+		Device:      spec.Name,
+		K:           k,
+		Shards:      choice.Shards,
+	}
+	if !o.NoCache {
+		if d, ok := dc.Get(key); ok {
+			if f, err := buildByName(m, d.Format); err == nil {
+				choice.Cached = true
+				choice.Probed = d.Probed
+				choice.Shortlist = []string{d.Format}
+				return formats.NewAuto(f, choice), nil
+			}
+			// A cached format that no longer builds (should not happen for
+			// an identical fingerprint) falls through to fresh selection.
+		}
+	}
+
+	fv := core.Extract(m)
+	n := o.Shortlist
+	if n <= 0 {
+		n = DefaultShortlist
+	}
+	shortlist := Shortlist(spec, fv, k, n)
+	if len(shortlist) == 0 {
+		// Degenerate matrix (empty, or hostile to every model): CSR always
+		// builds and is never a bad worst case.
+		shortlist = []string{"Naive-CSR"}
+	}
+	choice.Shortlist = shortlist
+
+	pick := shortlist[0]
+	var prebuilt formats.Format
+	if o.Probe && m.NNZ() >= autoProbeMinNNZ && len(shortlist) > 1 {
+		winner, built, results := probe(m, shortlist, ProbeOptions{K: k, SampleRows: o.SampleRows})
+		if winner != "" {
+			pick = winner
+			prebuilt = built // non-nil when the probe ran on the full matrix
+			choice.Probed = true
+			choice.ProbeNs = make(map[string]float64, len(results))
+			for _, r := range results {
+				if r.Err == nil {
+					choice.ProbeNs[r.Format] = r.NsPerOp
+				}
+			}
+		}
+	}
+
+	f := prebuilt
+	if f == nil {
+		var err error
+		f, err = buildFirst(m, pick, shortlist)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !o.NoCache {
+		dc.Put(key, cache.Decision{Format: f.Name(), Probed: choice.Probed})
+	}
+	return formats.NewAuto(f, choice), nil
+}
+
+// buildByName builds one named format for the matrix.
+func buildByName(m *matrix.CSR, name string) (formats.Format, error) {
+	b, ok := formats.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("selector: unknown format %q", name)
+	}
+	return b.Build(m)
+}
+
+// buildFirst builds pick, falling down the rest of the shortlist and
+// finally to Naive-CSR when builders refuse the concrete matrix (trait
+// estimates are feature-level; the built structure can still exceed a
+// padding cap).
+func buildFirst(m *matrix.CSR, pick string, shortlist []string) (formats.Format, error) {
+	tried := map[string]bool{}
+	order := append([]string{pick}, shortlist...)
+	order = append(order, "Naive-CSR")
+	var lastErr error
+	for _, name := range order {
+		if tried[name] {
+			continue
+		}
+		tried[name] = true
+		f, err := buildByName(m, name)
+		if err == nil {
+			return f, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("selector: no candidate builds: %w", lastErr)
+}

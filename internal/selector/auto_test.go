@@ -1,0 +1,238 @@
+package selector
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/dataset"
+	"repro/internal/formats"
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+func genMatrix(t *testing.T, rows int, avg, skew float64, seed int64) *matrix.CSR {
+	t.Helper()
+	m, err := gen.Generate(gen.Params{
+		Rows: rows, Cols: rows,
+		AvgNNZPerRow: avg, StdNNZPerRow: avg * 0.3,
+		SkewCoeff: skew, BWScaled: 0.3, CrossRowSim: 0.5, AvgNumNeigh: 0.9,
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return m
+}
+
+// TestBuildAutoEquivalence checks the contract that matters to users: the
+// Auto format computes exactly what building its chosen format directly
+// would compute, at every k.
+func TestBuildAutoEquivalence(t *testing.T) {
+	for _, skew := range []float64{0, 50, 2000} {
+		m := genMatrix(t, 4000, 10, skew, 21)
+		for _, k := range []int{1, 4, 8} {
+			a, err := BuildAuto(m, AutoOptions{K: k, NoCache: true})
+			if err != nil {
+				t.Fatalf("skew=%g k=%d: %v", skew, k, err)
+			}
+			b, ok := formats.Lookup(a.Chosen())
+			if !ok {
+				t.Fatalf("chose unknown format %q", a.Chosen())
+			}
+			direct, err := b.Build(m)
+			if err != nil {
+				t.Fatalf("direct build of chosen %s: %v", a.Chosen(), err)
+			}
+			x := matrix.RandomVector(m.Cols*k, 3)
+			yA := make([]float64, m.Rows*k)
+			yD := make([]float64, m.Rows*k)
+			a.MultiplyMany(yA, x, k)
+			direct.MultiplyMany(yD, x, k)
+			for i := range yA {
+				if yA[i] != yD[i] {
+					t.Fatalf("skew=%g k=%d: Auto diverges from %s at %d", skew, k, a.Chosen(), i)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildAutoDegenerate(t *testing.T) {
+	// Empty matrix: no format is model-feasible; Auto must still build
+	// (CSR fallback) and multiply to zeros.
+	empty, err := matrix.NewCSR(3, 3, []int32{0, 0, 0, 0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := BuildAuto(empty, AutoOptions{NoCache: true})
+	if err != nil {
+		t.Fatalf("empty matrix: %v", err)
+	}
+	y := []float64{1, 2, 3}
+	a.SpMV([]float64{1, 1, 1}, y)
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("empty product y[%d] = %g", i, v)
+		}
+	}
+
+	// Single row holding every nonzero.
+	single, err := matrix.NewCSR(1, 5, []int32{0, 3}, []int32{0, 2, 4}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err = BuildAuto(single, AutoOptions{K: 8, NoCache: true})
+	if err != nil {
+		t.Fatalf("single row: %v", err)
+	}
+	x := matrix.RandomVector(5*8, 1)
+	yk := make([]float64, 1*8)
+	a.MultiplyMany(yk, x, 8)
+
+	// Heavy skew: one giant row among short ones.
+	skewed := genMatrix(t, 3000, 6, 400, 4)
+	a, err = BuildAuto(skewed, AutoOptions{K: 8, Probe: true, NoCache: true})
+	if err != nil {
+		t.Fatalf("heavy skew: %v", err)
+	}
+	if a.Chosen() == "" {
+		t.Fatal("no format chosen")
+	}
+}
+
+func TestBuildAutoCachesDecision(t *testing.T) {
+	m := genMatrix(t, 3000, 10, 5, 8)
+	dc := cache.NewDecisionCache()
+	a1, err := BuildAuto(m, AutoOptions{K: 8, Cache: dc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Choice().Cached {
+		t.Error("first build should not be a cache hit")
+	}
+	if dc.Len() != 1 {
+		t.Fatalf("cache holds %d decisions, want 1", dc.Len())
+	}
+	a2, err := BuildAuto(m, AutoOptions{K: 8, Cache: dc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a2.Choice().Cached {
+		t.Error("second build should hit the decision cache")
+	}
+	if a2.Chosen() != a1.Chosen() {
+		t.Errorf("cached decision %q != original %q", a2.Chosen(), a1.Chosen())
+	}
+	// A different k is a different regime and must not share the entry.
+	a3, err := BuildAuto(m, AutoOptions{K: 1, Cache: dc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.Choice().Cached {
+		t.Error("k=1 must not hit the k=8 decision")
+	}
+	if dc.Len() != 2 {
+		t.Errorf("cache holds %d decisions, want 2", dc.Len())
+	}
+}
+
+func TestBuildAutoUnknownDevice(t *testing.T) {
+	m := genMatrix(t, 1000, 8, 0, 2)
+	if _, err := BuildAuto(m, AutoOptions{Device: "no-such-testbed"}); err == nil {
+		t.Fatal("unknown device should error")
+	}
+}
+
+func TestBuildAutoDeviceRestrictsChoice(t *testing.T) {
+	m := genMatrix(t, 2000, 10, 0, 3)
+	a, err := BuildAuto(m, AutoOptions{Device: "Alveo-U280", NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The FPGA offers only VSL; the choice must come from its format list
+	// (or the CSR build fallback if VSL refuses the concrete matrix).
+	if got := a.Chosen(); got != "VSL" && got != "Naive-CSR" {
+		t.Errorf("Alveo choice = %q, want VSL (or the CSR fallback)", got)
+	}
+}
+
+// TestBuildAutoConcurrent exercises the decision cache and the built
+// kernels from concurrent goroutines; run with -race.
+func TestBuildAutoConcurrent(t *testing.T) {
+	m := genMatrix(t, 6000, 10, 20, 13)
+	dc := cache.NewDecisionCache()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := 1 + (g%2)*7 // alternate k=1 and k=8
+			a, err := BuildAuto(m, AutoOptions{K: k, Cache: dc})
+			if err != nil {
+				errs <- err
+				return
+			}
+			x := matrix.RandomVector(m.Cols*k, int64(g))
+			y := make([]float64, m.Rows*k)
+			a.MultiplyMany(y, x, k)
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if dc.Len() > 2 {
+		t.Errorf("cache holds %d decisions for 2 regimes", dc.Len())
+	}
+}
+
+func TestProbePicksAWinner(t *testing.T) {
+	m := genMatrix(t, 20000, 12, 10, 5)
+	winner, results := Probe(m, []string{"Naive-CSR", "Vec-CSR", "SELL-C-s"}, ProbeOptions{K: 1})
+	if winner == "" {
+		t.Fatal("probe found no winner")
+	}
+	if len(results) != 3 {
+		t.Fatalf("probe returned %d results, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.Err == nil && r.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive measurement", r.Format)
+		}
+	}
+}
+
+func TestShortlistRanksAndIncludesRules(t *testing.T) {
+	s := epyc(t)
+	fv := dataset.Point(128, 20, 10, 0.5, 0.9, 0.3)
+	for _, k := range []int{1, 8} {
+		sl := Shortlist(s, fv, k, 3)
+		if len(sl) < 3 {
+			t.Fatalf("k=%d: shortlist %v too short", k, sl)
+		}
+		// Best-first: model estimates must be non-increasing over the
+		// ranked prefix (the appended RulesK pick may rank anywhere).
+		prev := s.EstimateMulti(fv, sl[0], k).GFLOPS
+		for _, name := range sl[1:3] {
+			g := s.EstimateMulti(fv, name, k).GFLOPS
+			if g > prev+1e-9 {
+				t.Errorf("k=%d: shortlist not ranked: %v", k, sl)
+			}
+			prev = g
+		}
+		ruled := RulesK(s, fv, k)
+		found := false
+		for _, name := range sl {
+			if name == ruled {
+				found = true
+			}
+		}
+		if !found && s.EstimateMulti(fv, ruled, k).Feasible {
+			t.Errorf("k=%d: shortlist %v misses the rules pick %q", k, sl, ruled)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package selector
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/formats"
+	"repro/internal/matrix"
+)
+
+// Probe defaults.
+const (
+	// DefaultProbeRows is the row budget of the probe sub-matrix: large
+	// enough that the parallel kernels leave the serial fast path and the
+	// row-length distribution survives sampling, small enough that probing
+	// three candidates costs milliseconds, not a solve iteration.
+	DefaultProbeRows = 8192
+	// defaultProbeMinTime is the wall-clock floor one timing sample must
+	// reach; samples double their iteration count until they do.
+	defaultProbeMinTime = 2 * time.Millisecond
+	// defaultProbeRounds is the number of adaptive timing runs per
+	// candidate; the minimum over rounds is kept (the least-noisy
+	// estimator on shared hosts, the BENCH_exec.json policy).
+	defaultProbeRounds = 2
+)
+
+// ProbeOptions configures the micro-probe.
+type ProbeOptions struct {
+	K          int           // RHS-count regime; k > 1 times MultiplyMany (0/1: SpMV)
+	SampleRows int           // probe sub-matrix row budget (0: DefaultProbeRows)
+	MinTime    time.Duration // per-sample wall-clock floor (0: 2ms)
+	Rounds     int           // timing runs per candidate, min kept (0: 2)
+}
+
+// ProbeResult is one candidate's measured micro-benchmark.
+type ProbeResult struct {
+	Format  string
+	NsPerOp float64 // min ns per kernel call on the sub-matrix (0 when Err != nil)
+	Err     error   // build failure on the sub-matrix
+}
+
+// Probe times the candidate formats on a row-sampled sub-matrix through
+// the execution engine and returns the measured winner. The sub-matrix
+// keeps the full column dimension and a stride sample of the rows, so
+// balance and x-locality behaviour carry over from the full matrix while
+// build plus timing stays in the low milliseconds per candidate. Results
+// are returned in candidate order; winner is "" when every candidate
+// failed to build.
+func Probe(m *matrix.CSR, candidates []string, o ProbeOptions) (winner string, results []ProbeResult) {
+	winner, _, results = probe(m, candidates, o)
+	return winner, results
+}
+
+// probe is Probe plus build reuse: when the row budget covers the whole
+// matrix (RowSample returns m itself), the probe already built every
+// candidate at full cost, so the winner's built instance is returned for
+// the caller to use directly instead of rebuilding it.
+func probe(m *matrix.CSR, candidates []string, o ProbeOptions) (winner string, built formats.Format, results []ProbeResult) {
+	k := o.K
+	if k < 1 {
+		k = 1
+	}
+	sampleRows := o.SampleRows
+	if sampleRows <= 0 {
+		sampleRows = DefaultProbeRows
+	}
+	minTime := o.MinTime
+	if minTime <= 0 {
+		minTime = defaultProbeMinTime
+	}
+	rounds := o.Rounds
+	if rounds <= 0 {
+		rounds = defaultProbeRounds
+	}
+	sub := m.RowSample(sampleRows)
+	workers := exec.MaxWorkers()
+	exec.Prestart() // probes must not time pool construction
+
+	x := matrix.RandomVector(sub.Cols*k, 9001)
+	y := make([]float64, sub.Rows*k)
+	bestNs := math.Inf(1)
+	for _, name := range candidates {
+		b, ok := formats.Lookup(name)
+		if !ok {
+			continue
+		}
+		f, err := b.Build(sub)
+		if err != nil {
+			results = append(results, ProbeResult{Format: name, Err: err})
+			continue
+		}
+		run := func() {
+			if k > 1 {
+				f.MultiplyMany(y, x, k)
+			} else {
+				f.SpMVParallel(x, y, workers)
+			}
+		}
+		run() // warm plans, scratch, pages
+		ns := measureNs(run, minTime, rounds)
+		results = append(results, ProbeResult{Format: name, NsPerOp: ns})
+		if ns < bestNs {
+			bestNs = ns
+			winner = name
+			if sub == m {
+				built = f
+			}
+		}
+	}
+	return winner, built, results
+}
+
+// measureNs returns the minimum ns per fn() call over the given number of
+// adaptive timing runs, each doubling its iteration count until it spans
+// minTime of wall clock.
+func measureNs(fn func(), minTime time.Duration, rounds int) float64 {
+	best := math.Inf(1)
+	for rep := 0; rep < rounds; rep++ {
+		iters := 1
+		for {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				fn()
+			}
+			elapsed := time.Since(start)
+			if elapsed >= minTime || iters >= 1<<22 {
+				if ns := float64(elapsed.Nanoseconds()) / float64(iters); ns < best {
+					best = ns
+				}
+				break
+			}
+			iters *= 2
+		}
+	}
+	return best
+}

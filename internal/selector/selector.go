@@ -22,11 +22,37 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/formats"
 )
 
-// Rules picks a format for the device using the paper's qualitative
-// takeaways. It needs no training and serves as the interpretable baseline.
-func Rules(spec device.Spec, fv core.FeatureVector) string {
+// rulesOrder returns the decision list's format preference order for the
+// feature point, encoding the paper's qualitative takeaways: footprint
+// picks the bandwidth regime, skew picks the balancing discipline,
+// locality picks compressed formats.
+func rulesOrder(fv core.FeatureVector) []string {
+	switch {
+	case fv.SkewCoeff > 500:
+		// Heavy imbalance: item-granular formats first (Takeaway 7).
+		return []string{"Merge-CSR", "CSR5", "MKL-IE", "Bal-CSR", "COO", "VSL"}
+	case fv.AvgNumNeigh >= 1.4 && fv.MemFootprintMB >= 256:
+		// Large clustered matrices: compression attacks the bandwidth
+		// bottleneck (SparseX's niche).
+		return []string{"SparseX", "SELL-C-s", "MKL-IE", "Bal-CSR", "VSL"}
+	case fv.AvgNNZPerRow < 8:
+		// Short rows: avoid padding-happy formats; balanced CSR variants
+		// amortize row overheads best.
+		return []string{"Merge-CSR", "MKL-IE", "Bal-CSR", "CSR5", "Naive-CSR", "COO", "VSL"}
+	case fv.SkewCoeff <= 100 && fv.AvgNNZPerRow >= 50:
+		// Long balanced rows: vectorized/ELL-style formats shine.
+		return []string{"SELL-C-s", "Vec-CSR", "MKL-IE", "HYB", "Bal-CSR", "VSL"}
+	default:
+		return []string{"MKL-IE", "Bal-CSR", "CSR5", "Merge-CSR", "Naive-CSR", "VSL"}
+	}
+}
+
+// pickFrom returns the first name in order the device offers and the
+// filter (if any) accepts; "" when none qualifies.
+func pickFrom(spec device.Spec, order []string, accept func(string) bool) string {
 	has := func(name string) bool {
 		for _, f := range spec.Formats {
 			if f == name {
@@ -35,33 +61,89 @@ func Rules(spec device.Spec, fv core.FeatureVector) string {
 		}
 		return false
 	}
-	pick := func(names ...string) string {
-		for _, n := range names {
-			if has(n) {
-				return n
+	for _, n := range order {
+		if has(n) && (accept == nil || accept(n)) {
+			return n
+		}
+	}
+	return ""
+}
+
+// Rules picks a format for the device using the paper's qualitative
+// takeaways. It needs no training and serves as the interpretable baseline.
+func Rules(spec device.Spec, fv core.FeatureVector) string {
+	if n := pickFrom(spec, rulesOrder(fv), nil); n != "" {
+		return n
+	}
+	return spec.Formats[0]
+}
+
+// RulesK picks a format for the k-wide SpMM regime: the same decision list
+// as Rules, but for k > 1 formats with fused MultiplyMany kernels are
+// preferred within each family — a fused format's rate grows with k while
+// a by-column-fallback format keeps its single-vector rate, so under SpMM
+// the fused runner-up usually beats the fallback front-runner (the
+// win-rate flip PR 3 measured for ELL and Merge-CSR).
+func RulesK(spec device.Spec, fv core.FeatureVector, k int) string {
+	order := rulesOrder(fv)
+	if k > 1 {
+		if n := pickFrom(spec, order, formats.FusedMulti); n != "" {
+			return n
+		}
+	}
+	if n := pickFrom(spec, order, nil); n != "" {
+		return n
+	}
+	return spec.Formats[0]
+}
+
+// Shortlist ranks the device's formats for the k-regime by the model
+// estimate and returns the top-n feasible names, best first. The RulesK
+// pick is appended when the model ranking misses it, so the shortlist
+// always carries one entry from the interpretable decision list — cheap
+// insurance against a model blind spot when the shortlist is probed.
+func Shortlist(spec device.Spec, fv core.FeatureVector, k, n int) []string {
+	if n < 1 {
+		n = 1
+	}
+	type cand struct {
+		name   string
+		gflops float64
+	}
+	var cands []cand
+	for _, f := range spec.Formats {
+		r := spec.EstimateMulti(fv, f, k)
+		if !r.Feasible {
+			continue
+		}
+		cands = append(cands, cand{f, r.GFLOPS})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].gflops != cands[b].gflops {
+			return cands[a].gflops > cands[b].gflops
+		}
+		return cands[a].name < cands[b].name
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	out := make([]string, 0, n+1)
+	for _, c := range cands {
+		out = append(out, c.name)
+	}
+	if len(out) > 0 {
+		ruled := RulesK(spec, fv, k)
+		found := false
+		for _, name := range out {
+			if name == ruled {
+				found = true
 			}
 		}
-		return spec.Formats[0]
+		if !found && spec.EstimateMulti(fv, ruled, k).Feasible {
+			out = append(out, ruled)
+		}
 	}
-
-	switch {
-	case fv.SkewCoeff > 500:
-		// Heavy imbalance: item-granular formats first (Takeaway 7).
-		return pick("Merge-CSR", "CSR5", "MKL-IE", "Bal-CSR", "COO", "VSL")
-	case fv.AvgNumNeigh >= 1.4 && fv.MemFootprintMB >= 256:
-		// Large clustered matrices: compression attacks the bandwidth
-		// bottleneck (SparseX's niche).
-		return pick("SparseX", "SELL-C-s", "MKL-IE", "Bal-CSR", "VSL")
-	case fv.AvgNNZPerRow < 8:
-		// Short rows: avoid padding-happy formats; balanced CSR variants
-		// amortize row overheads best.
-		return pick("Merge-CSR", "MKL-IE", "Bal-CSR", "CSR5", "Naive-CSR", "COO", "VSL")
-	case fv.SkewCoeff <= 100 && fv.AvgNNZPerRow >= 50:
-		// Long balanced rows: vectorized/ELL-style formats shine.
-		return pick("SELL-C-s", "Vec-CSR", "MKL-IE", "HYB", "Bal-CSR", "VSL")
-	default:
-		return pick("MKL-IE", "Bal-CSR", "CSR5", "Merge-CSR", "Naive-CSR", "VSL")
-	}
+	return out
 }
 
 // Sample is one labeled training point.
@@ -75,22 +157,43 @@ type Sample struct {
 type Nearest struct {
 	k       int
 	samples []Sample
+	dropped int
 }
 
 // Train builds a k-NN selector by labelling the given feature points with
-// the device model's best format. k defaults to 5.
+// the device model's best format. k defaults to 5. Points the device model
+// cannot label (no feasible format, e.g. past a capacity gate) are
+// dropped; Dropped reports how many, so a thin training set is visible to
+// the caller instead of silently degrading accuracy.
 func Train(spec device.Spec, points []core.FeatureVector, k int) *Nearest {
+	return TrainK(spec, points, k, 1)
+}
+
+// TrainK is Train on the k-wide SpMM axis: labels come from
+// device.Spec.BestFormatK, so a selector trained with rhs = 8 learns the
+// k = 8 win-rate ordering (fused kernels promoted, fallback formats
+// demoted) rather than the single-vector one.
+func TrainK(spec device.Spec, points []core.FeatureVector, k, rhs int) *Nearest {
 	if k <= 0 {
 		k = 5
 	}
+	if rhs < 1 {
+		rhs = 1
+	}
 	n := &Nearest{k: k}
 	for _, fv := range points {
-		if name, _, ok := spec.BestFormat(fv); ok {
+		if name, _, ok := spec.BestFormatK(fv, rhs); ok {
 			n.samples = append(n.samples, Sample{FV: fv, Best: name})
+		} else {
+			n.dropped++
 		}
 	}
 	return n
 }
+
+// Dropped returns how many training points the device model could not
+// label (and were therefore excluded from the training set).
+func (n *Nearest) Dropped() int { return n.dropped }
 
 // TrainSamples builds the selector from pre-labeled samples (e.g. native
 // measurements).
@@ -152,15 +255,22 @@ type Evaluation struct {
 // Evaluate scores a selector function against exhaustive search on the
 // device model.
 func Evaluate(spec device.Spec, points []core.FeatureVector, predict func(core.FeatureVector) string) Evaluation {
+	return EvaluateK(spec, points, 1, predict)
+}
+
+// EvaluateK scores a selector function for the k-wide SpMM regime: the
+// ground truth is device.Spec.BestFormatK and predictions are rated at
+// the same k, so the score reflects the regime the selector targets.
+func EvaluateK(spec device.Spec, points []core.FeatureVector, k int, predict func(core.FeatureVector) string) Evaluation {
 	var ev Evaluation
 	var retained []float64
 	for _, fv := range points {
-		bestName, best, ok := spec.BestFormat(fv)
+		bestName, best, ok := spec.BestFormatK(fv, k)
 		if !ok || best.GFLOPS <= 0 {
 			continue
 		}
 		name := predict(fv)
-		got := spec.Estimate(fv, name)
+		got := spec.EstimateMulti(fv, name, k)
 		if !got.Feasible {
 			retained = append(retained, 0)
 			ev.N++
@@ -182,6 +292,13 @@ func Evaluate(spec device.Spec, points []core.FeatureVector, predict func(core.F
 	}
 	ev.Retained = sum / float64(len(retained))
 	sort.Float64s(retained)
-	ev.RetainedP10 = retained[len(retained)/10]
+	// A true 10th percentile needs at least 10 samples; below that, report
+	// the minimum — the pessimistic reading of a thin test set — instead of
+	// an index that silently aliases a higher percentile.
+	if len(retained) < 10 {
+		ev.RetainedP10 = retained[0]
+	} else {
+		ev.RetainedP10 = retained[len(retained)/10]
+	}
 	return ev
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/device"
+	"repro/internal/formats"
 )
 
 func epyc(t *testing.T) device.Spec {
@@ -108,5 +109,92 @@ func TestEvaluateEmpty(t *testing.T) {
 	ev := Evaluate(s, nil, func(core.FeatureVector) string { return "Naive-CSR" })
 	if ev.N != 0 || ev.Retained != 0 {
 		t.Errorf("empty evaluation should be zero: %+v", ev)
+	}
+}
+
+func TestTrainReportsDroppedPoints(t *testing.T) {
+	s := epyc(t)
+	points := dataset.Small.Sample(20, 3)
+	labelable := len(points)
+	// Unlabelable points: empty matrices have no feasible format.
+	points = append(points, core.FeatureVector{}, core.FeatureVector{Rows: 10, Cols: 10})
+	knn := Train(s, points, 3)
+	if knn.Dropped() != 2 {
+		t.Errorf("Dropped() = %d, want 2", knn.Dropped())
+	}
+	if knn.Len() != labelable {
+		t.Errorf("Len() = %d, want %d", knn.Len(), labelable)
+	}
+	if TrainSamples(nil, 3).Dropped() != 0 {
+		t.Error("TrainSamples should drop nothing")
+	}
+}
+
+func TestRetainedP10SmallTestSets(t *testing.T) {
+	s := epyc(t)
+	// 3 points (< 10): RetainedP10 must be the minimum retained value,
+	// not a silent alias of a higher percentile.
+	points := dataset.Small.Sample(3, 5)
+	if len(points) != 3 {
+		t.Fatalf("sampled %d points, want 3", len(points))
+	}
+	// Predict the worst feasible format for the first point only, so the
+	// retained values are not all equal.
+	worst := func(fv core.FeatureVector) string {
+		name, g := "", -1.0
+		for _, f := range s.Formats {
+			r := s.Estimate(fv, f)
+			if r.Feasible && (g < 0 || r.GFLOPS < g) {
+				name, g = f, r.GFLOPS
+			}
+		}
+		return name
+	}
+	first := true
+	ev := Evaluate(s, points, func(fv core.FeatureVector) string {
+		if first {
+			first = false
+			return worst(fv)
+		}
+		name, _, _ := s.BestFormat(fv)
+		return name
+	})
+	if ev.N == 0 {
+		t.Fatal("nothing evaluated")
+	}
+	if ev.RetainedP10 > ev.Retained {
+		t.Errorf("P10 %.3f above mean %.3f on a 3-point set — must report the minimum", ev.RetainedP10, ev.Retained)
+	}
+}
+
+func TestRulesKPrefersFusedFormats(t *testing.T) {
+	for _, spec := range device.Testbeds() {
+		for _, fv := range dataset.Small.Sample(40, 17) {
+			name := RulesK(spec, fv, 8)
+			offered := false
+			for _, f := range spec.Formats {
+				if f == name {
+					offered = true
+				}
+			}
+			if !offered {
+				t.Fatalf("%s: RulesK picked %q, not offered", spec.Name, name)
+			}
+			// When the device offers any fused format from the decision
+			// list, the k=8 pick must be fused.
+			order := rulesOrder(fv)
+			hasFused := pickFrom(spec, order, formats.FusedMulti) != ""
+			if hasFused && !formats.FusedMulti(name) {
+				t.Fatalf("%s fv=%s: RulesK(8) picked fallback %q with fused options available",
+					spec.Name, fv, name)
+			}
+		}
+	}
+	// k=1 must be exactly Rules.
+	s := epyc(t)
+	for _, fv := range dataset.Small.Sample(40, 23) {
+		if RulesK(s, fv, 1) != Rules(s, fv) {
+			t.Fatal("RulesK(1) must equal Rules")
+		}
 	}
 }

@@ -40,6 +40,18 @@ func Summarize(vs []float64) Summary {
 	return s
 }
 
+// Mean returns the arithmetic mean of vs (0 for an empty input).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
 // slice using linear interpolation.
 func Quantile(sorted []float64, q float64) float64 {

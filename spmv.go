@@ -40,6 +40,7 @@ import (
 	"repro/internal/formats"
 	"repro/internal/gen"
 	"repro/internal/matrix"
+	"repro/internal/selector"
 )
 
 // Core matrix types.
@@ -68,6 +69,12 @@ type (
 	ExperimentOptions = bench.Options
 	// Report is a rendered experiment result table.
 	Report = bench.Report
+	// AutoOptions configures the automatic format selection of Auto.
+	AutoOptions = selector.AutoOptions
+	// AutoFormat is a Format chosen by the selection subsystem; it
+	// delegates every kernel to the chosen concrete format and carries the
+	// decision record (Chosen, Choice).
+	AutoFormat = formats.Auto
 )
 
 // Extract measures the feature vector of a matrix.
@@ -103,6 +110,19 @@ func MultiplyMany(f Format, y, x []float64, k int) { f.MultiplyMany(y, x, k) }
 // the previous override (0 if none). Hosts with more load ports or cheaper
 // gathers can lower it after re-measuring — see docs/BENCHMARKS.md.
 func SetVecWideRowMin(n int) int { return formats.SetVecWideRowMin(n) }
+
+// Auto selects a storage format for the matrix and builds it — the
+// paper's feature analysis driving execution. The five-feature vector is
+// extracted, a k-regime-aware device model shortlists candidate formats
+// (k = 1 and k = 8 rank formats differently; set AutoOptions.K to the
+// workload's block width), an optional micro-probe times the shortlist on
+// a row-sampled sub-matrix through the execution engine, and the winner is
+// built. Decisions are cached by (matrix fingerprint, device, k, shards),
+// so rebuilding the same matrix under the same context is instant.
+//
+//	f, err := spmv.Auto(m, spmv.AutoOptions{K: 8, Probe: true})
+//	// f.Chosen() names the picked format; f is a regular Format.
+func Auto(m *Matrix, o AutoOptions) (*AutoFormat, error) { return selector.BuildAuto(m, o) }
 
 // FormatByName finds a format builder.
 func FormatByName(name string) (FormatBuilder, bool) { return formats.Lookup(name) }
