@@ -21,8 +21,18 @@
 //	-format NAME                  restrict the native experiment to one
 //	                              format; "auto" runs the selection
 //	                              subsystem per matrix
+//	-cache-dir DIR                persist auto-selection decisions and probe
+//	                              outcomes to a journal in DIR (warm cache;
+//	                              empty = SPMV_CACHE_DIR, or off when that
+//	                              is unset too)
+//	-cold                         delete the journal before running, so the
+//	                              selection subsystem starts from scratch
 //	-csv DIR                      also write one CSV per report into DIR
 //	-json FILE                    also write all reports as JSON into FILE
+//
+// With persistence configured, a "journal" report rides along on stdout
+// and in -json: journal path, decisions and experiences held, appends and
+// skipped lines — the state a restarted server would warm-load.
 //
 // The JSON output is the machine-readable perf trajectory: for example,
 // `spmv-bench -sample 8 -json BENCH_spmv.json native` records the native
@@ -45,6 +55,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cache"
 	"repro/internal/dataset"
 	"repro/internal/formats"
 	"repro/internal/topo"
@@ -52,16 +63,18 @@ import (
 
 func main() {
 	var (
-		dsName  = flag.String("dataset", "medium", "dataset size: small, medium or large")
-		sample  = flag.String("sample", "0", "subsample the grid to ~N points (0 = full grid)")
-		devices = flag.String("devices", "", "comma-separated testbed names (default: all)")
-		seed    = flag.Int64("seed", 1, "sampling and generator seed")
-		shards  = flag.Int("shards", 0, "execution-pool shards (0 = SPMV_SHARDS or detected topology domains)")
-		rhs     = flag.Int("rhs", 0, "right-hand sides for the spmm/select experiments (0 = default 8)")
-		format  = flag.String("format", "", "restrict the native experiment to one format (\"auto\" = selection subsystem)")
-		csvDir  = flag.String("csv", "", "directory to also write CSV reports into")
-		jsonOut = flag.String("json", "", "file to also write all reports into as JSON")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		dsName   = flag.String("dataset", "medium", "dataset size: small, medium or large")
+		sample   = flag.String("sample", "0", "subsample the grid to ~N points (0 = full grid)")
+		devices  = flag.String("devices", "", "comma-separated testbed names (default: all)")
+		seed     = flag.Int64("seed", 1, "sampling and generator seed")
+		shards   = flag.Int("shards", 0, "execution-pool shards (0 = SPMV_SHARDS or detected topology domains)")
+		rhs      = flag.Int("rhs", 0, "right-hand sides for the spmm/select experiments (0 = default 8)")
+		format   = flag.String("format", "", "restrict the native experiment to one format (\"auto\" = selection subsystem)")
+		cacheDir = flag.String("cache-dir", "", "journal directory for persistent auto-selection decisions (empty = SPMV_CACHE_DIR or off)")
+		cold     = flag.Bool("cold", false, "delete the journal before running (cold selection cache)")
+		csvDir   = flag.String("csv", "", "directory to also write CSV reports into")
+		jsonOut  = flag.String("json", "", "file to also write all reports into as JSON")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -105,6 +118,10 @@ func main() {
 	}
 	opts.Format = *format
 
+	if err := cache.ConfigureFlags(*cacheDir, *cold); err != nil {
+		fatalf("%v", err)
+	}
+
 	ids := flag.Args()
 	if len(ids) == 0 && *format != "" {
 		ids = []string{"native"} // -format means: run the native sweep with it
@@ -144,11 +161,45 @@ func main() {
 		fatalf("render shards: %v", err)
 	}
 	collected = append(collected, sr)
+	// So does the selection journal, when persistence is on: the state a
+	// restarted server would warm-load.
+	if cache.Configured() {
+		if jr := journalReport(); jr != nil {
+			if err := jr.Render(os.Stdout); err != nil {
+				fatalf("render journal: %v", err)
+			}
+			collected = append(collected, jr)
+		}
+	}
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, collected); err != nil {
 			fatalf("json: %v", err)
 		}
 	}
+}
+
+// journalReport summarizes the on-disk selection journal (nil when it
+// cannot be opened).
+func journalReport() *bench.Report {
+	dir, err := cache.Dir()
+	if err != nil {
+		return nil
+	}
+	st, err := cache.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer st.Close()
+	ss := st.Stats()
+	r := &bench.Report{
+		ID:     "journal",
+		Title:  "Persistent selection journal",
+		Header: []string{"path", "decisions", "experiences", "skipped_lines", "invalidated"},
+	}
+	r.AddRow(ss.Path, fmt.Sprintf("%d", ss.Decisions), fmt.Sprintf("%d", ss.Experiences),
+		fmt.Sprintf("%d", ss.Skipped), fmt.Sprintf("%v", ss.Invalidated))
+	r.AddNote("a warm restart loads this state before the first selection; delete with -cold")
+	return r
 }
 
 // writeJSON dumps the reports as an indented JSON array so external tools

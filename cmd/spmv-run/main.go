@@ -6,10 +6,14 @@
 //	spmv-run -file matrix.mtx -format CSR5 -workers 8 -iters 64
 //	spmv-run -rows 200000 -avg 20 -skew 100     # generated matrix, all formats
 //	spmv-run -format auto -rhs 8                # let the selector choose for k=8
+//	spmv-run -format auto -cache-dir /var/cache/spmv   # warm across restarts
 //
 // -format auto invokes the selection subsystem: the five-feature vector is
 // extracted, the device model shortlists candidates for the -rhs regime, a
 // micro-probe times them on a row sample, and the measured winner runs.
+// With -cache-dir (or SPMV_CACHE_DIR) the decision and the probe outcome
+// journal to disk, so the next process run skips ranking and probing for
+// the same matrix; -cold deletes the journal first.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/device"
 	"repro/internal/formats"
 	"repro/internal/gen"
@@ -30,20 +35,29 @@ import (
 
 func main() {
 	var (
-		file    = flag.String("file", "", "MatrixMarket input (empty: generate)")
-		format  = flag.String("format", "", "single format to run (empty: all; \"auto\": selection subsystem)")
-		rhs     = flag.Int("rhs", 1, "right-hand-side count the auto selector targets")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
-		iters   = flag.Int("iters", 32, "SpMV iterations to time")
-		rows    = flag.Int("rows", 200000, "generated matrix rows")
-		avg     = flag.Float64("avg", 20, "generated average nonzeros per row")
-		skew    = flag.Float64("skew", 0, "generated skew coefficient")
-		sim     = flag.Float64("sim", 0.5, "generated cross-row similarity")
-		neigh   = flag.Float64("neigh", 1.0, "generated avg neighbors")
-		bw      = flag.Float64("bw", 0.3, "generated scaled bandwidth")
-		seed    = flag.Int64("seed", 42, "generator seed")
+		file     = flag.String("file", "", "MatrixMarket input (empty: generate)")
+		format   = flag.String("format", "", "single format to run (empty: all; \"auto\": selection subsystem)")
+		rhs      = flag.Int("rhs", 1, "right-hand-side count the auto selector targets")
+		cacheDir = flag.String("cache-dir", "", "journal directory for persistent auto-selection decisions (empty = SPMV_CACHE_DIR or off)")
+		cold     = flag.Bool("cold", false, "delete the journal before selecting (cold cache)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		iters    = flag.Int("iters", 32, "SpMV iterations to time")
+		rows     = flag.Int("rows", 200000, "generated matrix rows")
+		avg      = flag.Float64("avg", 20, "generated average nonzeros per row")
+		skew     = flag.Float64("skew", 0, "generated skew coefficient")
+		sim      = flag.Float64("sim", 0.5, "generated cross-row similarity")
+		neigh    = flag.Float64("neigh", 1.0, "generated avg neighbors")
+		bw       = flag.Float64("bw", 0.3, "generated scaled bandwidth")
+		seed     = flag.Int64("seed", 42, "generator seed")
 	)
 	flag.Parse()
+
+	// Persistence flags act regardless of -format, so `-cold` always
+	// deletes the journal it names (silently ignoring it would leave the
+	// cache the user asked to clear warm for the next auto run).
+	if err := cache.ConfigureFlags(*cacheDir, *cold); err != nil {
+		fatalf("%v", err)
+	}
 
 	var m *matrix.CSR
 	if *file != "" {
@@ -82,13 +96,23 @@ func main() {
 			res.Format, res.GFLOPS, res.Iterations, res.Workers, res.Seconds)
 	}
 	if *format == "auto" {
+		if cache.Configured() {
+			if _, err := selector.Persist(""); err != nil {
+				fatalf("persistence: %v", err)
+			}
+		}
 		af, err := selector.BuildAuto(m, selector.AutoOptions{K: *rhs, Probe: true})
 		if err != nil {
 			fatalf("auto selection: %v", err)
 		}
 		c := af.Choice()
-		fmt.Printf("auto: chose %s for k=%d on %s (shortlist %s, probed=%v, cached=%v)\n",
-			af.Chosen(), c.K, c.Device, strings.Join(c.Shortlist, " > "), c.Probed, c.Cached)
+		fmt.Printf("auto: chose %s for k=%d on %s (shortlist %s, probed=%v, cached=%v, learned=%v)\n",
+			af.Chosen(), c.K, c.Device, strings.Join(c.Shortlist, " > "), c.Probed, c.Cached, c.Learned)
+		if st := cache.Decisions.Store(); st != nil {
+			ss := st.Stats()
+			fmt.Printf("journal: %s (%d decisions / %d experiences loaded, %d appended)\n",
+				ss.Path, ss.Decisions, ss.Experiences, ss.Appended)
+		}
 		if *rhs > 1 {
 			// Measure the regime the selector actually targeted: one fused
 			// k-wide MultiplyMany per iteration, not k=1 SpMV.

@@ -3,6 +3,7 @@ package spmv_test
 import (
 	"fmt"
 	"math"
+	"os"
 
 	spmv "repro"
 )
@@ -191,4 +192,46 @@ func ExampleFormats() {
 	// Vec-CSR
 	// Bal-CSR
 	// ... 14 formats total
+}
+
+// ExampleSetCacheDir turns on the persistence layer: auto-format
+// decisions and probe outcomes journal to disk and warm-load on the next
+// start, so a restarted server re-probes nothing it has seen. The example
+// uses a throwaway directory; a server would pass its cache path once (or
+// set SPMV_CACHE_DIR and call nothing at all).
+func ExampleSetCacheDir() {
+	dir, err := os.MkdirTemp("", "spmv-journal")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := spmv.SetCacheDir(dir); err != nil {
+		panic(err)
+	}
+	defer spmv.UnsetCacheDir() // the temp dir is about to vanish
+
+	m, err := spmv.Generate(spmv.GeneratorParams{
+		Rows: 2000, Cols: 2000,
+		AvgNNZPerRow: 8, StdNNZPerRow: 2,
+		SkewCoeff: 5, BWScaled: 0.2,
+		CrossRowSim: 0.5, AvgNumNeigh: 1.0, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	first, err := spmv.Auto(m, spmv.AutoOptions{K: 8})
+	if err != nil {
+		panic(err)
+	}
+	// A second build of the same matrix under the same (device, k, shards)
+	// context resolves from the cache — after a real restart, from the
+	// journal on disk.
+	second, err := spmv.Auto(m, spmv.AutoOptions{K: 8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("same decision: %v, second build cached: %v\n",
+		first.Chosen() == second.Chosen(), second.Choice().Cached)
+	// Output:
+	// same decision: true, second build cached: true
 }

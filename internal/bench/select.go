@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"os"
 	"time"
 
 	"repro/internal/cache"
@@ -33,11 +34,20 @@ const selectMinMeasure = 5 * time.Millisecond
 // RunSelect measures the auto-format selection subsystem end-to-end
 // against exhaustive search on real host kernels: for every suite matrix
 // and RHS regime k ∈ {1, rhs}, it times every buildable format natively,
-// asks selector.BuildAuto (model shortlist + micro-probe) for a choice,
-// and reports the performance retained by the choice relative to the
+// asks selector.BuildAuto for three grades of choice — model-only
+// (analytical ranking alone), learned (model plus the online experience
+// base fed by earlier probes in the run), and probed (micro-probe over the
+// shortlist) — and reports the performance each retains relative to the
 // measured best. The mean retained per regime is the subsystem's
 // acceptance number (>= 0.90 is competitive with the format-selection
 // literature); BENCH_select.json records it.
+//
+// The probed decisions journal through a disk store (SPMV_CACHE_DIR when
+// set, a private temp dir otherwise); after the sweep the run simulates a
+// process restart — fresh caches, same directory — and replays every
+// (matrix, k) pair, asserting the warm pass reproduces each decision from
+// the journal with zero micro-probes. The cold/warm columns and the probe
+// counts in the notes are the persistence acceptance numbers.
 func RunSelect(o Options) []*Report {
 	rhs := o.RHS
 	if rhs < 2 {
@@ -47,22 +57,85 @@ func RunSelect(o Options) []*Report {
 	points := selectPoints(o)
 	exec.Prestart()
 
+	// Journal location: the operator's cache dir when configured
+	// (SPMV_CACHE_DIR or spmv.SetCacheDir/-cache-dir), a throwaway
+	// otherwise — the restart simulation below needs a disk journal either
+	// way; configuration only decides whether it outlives the run.
+	dir := ""
+	if cache.Configured() {
+		if d, err := cache.Dir(); err == nil {
+			dir = d
+		}
+	}
+	cleanup := func() {}
+	if dir == "" {
+		if tmp, err := os.MkdirTemp("", "spmv-select-journal"); err == nil {
+			dir = tmp
+			cleanup = func() { os.RemoveAll(tmp) }
+		}
+	}
+	defer cleanup()
+
 	r := &Report{
 		ID:    "select",
 		Title: fmt.Sprintf("Auto format selection vs exhaustive search over %d matrices, k in {1, %d}", len(points), rhs),
-		Header: []string{"matrix", "k", "model_pick", "auto_pick", "best_measured",
-			"retained_model", "retained_auto", "probed"},
+		Header: []string{"matrix", "k", "model_pick", "learned_pick", "auto_pick", "best_measured",
+			"retained_model", "retained_learned", "retained_auto", "probed", "warm_pick", "warm_cached"},
 	}
+	// The warm pass fills its two columns after the fact; derive the
+	// indices from the header so inserting a column cannot silently write
+	// warm results into the wrong one.
+	warmPickCol := headerIndex(r.Header, "warm_pick")
+	warmCachedCol := headerIndex(r.Header, "warm_cached")
+
+	// Journal wiring. With persistence configured the experiment uses the
+	// process-global store (selector.Persist attaches it to the global
+	// decision cache and warm-loads the experience base exactly once — a
+	// second private Open of the same file would replay every experience
+	// twice and leave two append handles racing a compaction). With a
+	// throwaway dir the store is private and closed at the end.
+	dc := cache.NewDecisionCache() // one decision per (matrix, k)
+	var st *cache.Store
+	if cache.Configured() {
+		if s, err := selector.Persist(""); err == nil {
+			st = s
+			dc = cache.Decisions
+			if ss := st.Stats(); ss.Decisions > 0 || ss.Experiences > 0 {
+				r.AddNote("journal %s: warm-started with %d decisions, %d experiences", ss.Path, ss.Decisions, ss.Experiences)
+			}
+		} else {
+			r.AddNote("journal unavailable (%v); running memory-only", err)
+		}
+	} else if dir != "" {
+		if s, err := cache.Open(dir); err == nil {
+			st = s
+			dc.AttachStore(st)
+			defer func() {
+				dc.AttachStore(nil)
+				st.Close()
+			}()
+		} else {
+			r.AddNote("journal unavailable (%v); running memory-only", err)
+		}
+	}
+
+	type cell struct {
+		fv       core.FeatureVector
+		seed     int64
+		k        int
+		row      int
+		coldPick string
+	}
+	var cells []cell
 	retainedAuto := map[int][]float64{}
 	retainedModel := map[int][]float64{}
-	dc := cache.NewDecisionCache() // private cache: one decision per (matrix, k)
-	built := 0
+	retainedLearned := map[int][]float64{}
+	probesBefore := selector.ProbeCount()
 	for i, fv := range points {
 		m, err := gen.Generate(gen.FromFeatures(fv, o.Seed+int64(i)))
 		if err != nil {
 			continue
 		}
-		built++
 		for _, k := range ks {
 			perf := measureAllFormats(m, k)
 			if len(perf) == 0 {
@@ -74,9 +147,18 @@ func RunSelect(o Options) []*Report {
 					bestName, bestNs = name, ns
 				}
 			}
-			modelAuto, err := selector.BuildAuto(m, selector.AutoOptions{K: k, NoCache: true})
+			modelAuto, err := selector.BuildAuto(m, selector.AutoOptions{K: k, NoCache: true, NoLearn: true})
 			if err != nil {
 				r.AddNote("matrix %d k=%d: model selection failed: %v", i, k, err)
+				continue
+			}
+			// Learned grade: experience accumulated from earlier matrices'
+			// probes steers the shortlist; no probe of its own. On the first
+			// matrices this degenerates to the model pick — the point is
+			// watching it pull ahead as the run learns.
+			learnedAuto, err := selector.BuildAuto(m, selector.AutoOptions{K: k, NoCache: true})
+			if err != nil {
+				r.AddNote("matrix %d k=%d: learned selection failed: %v", i, k, err)
 				continue
 			}
 			probeAuto, err := selector.BuildAuto(m, selector.AutoOptions{K: k, Probe: true, Cache: dc})
@@ -85,15 +167,60 @@ func RunSelect(o Options) []*Report {
 				continue
 			}
 			retM := retainedOf(perf, modelAuto.Chosen(), bestNs, m, k)
+			retL := retainedOf(perf, learnedAuto.Chosen(), bestNs, m, k)
 			retA := retainedOf(perf, probeAuto.Chosen(), bestNs, m, k)
 			retainedModel[k] = append(retainedModel[k], retM)
+			retainedLearned[k] = append(retainedLearned[k], retL)
 			retainedAuto[k] = append(retainedAuto[k], retA)
 			r.AddRow(fmt.Sprintf("%.0fMB nzr=%.0f skew=%.0f", fv.MemFootprintMB, fv.AvgNNZPerRow, fv.SkewCoeff),
-				fmt.Sprintf("%d", k), modelAuto.Chosen(), probeAuto.Chosen(), bestName,
-				fmt.Sprintf("%.3f", retM), fmt.Sprintf("%.3f", retA),
-				fmt.Sprintf("%v", probeAuto.Choice().Probed))
+				fmt.Sprintf("%d", k), modelAuto.Chosen(), learnedAuto.Chosen(), probeAuto.Chosen(), bestName,
+				fmt.Sprintf("%.3f", retM), fmt.Sprintf("%.3f", retL), fmt.Sprintf("%.3f", retA),
+				fmt.Sprintf("%v", probeAuto.Choice().Probed), "", "")
+			// The matrix itself is NOT retained (a full-grid run holds
+			// hundreds): the warm pass regenerates it from (fv, seed),
+			// which reproduces the identical structure and fingerprint.
+			cells = append(cells, cell{fv: fv, seed: o.Seed + int64(i), k: k, row: len(r.Rows) - 1, coldPick: probeAuto.Chosen()})
 		}
 	}
+	coldProbes := selector.ProbeCount() - probesBefore
+
+	// Simulated restart: a fresh process would open the same journal and
+	// warm-load; previously-seen keys must resolve without a single probe.
+	// The journal is re-opened on a second handle into fresh caches (the
+	// live store stays open — a cache hit neither probes nor appends, so
+	// the handles cannot conflict) and each matrix is regenerated from its
+	// (features, seed) pair, reproducing the identical fingerprint.
+	warmOK := 0
+	var warmProbes int64
+	if st != nil {
+		st2, err := cache.Open(dir)
+		if err == nil {
+			warmDC := cache.NewDecisionCache()
+			warmDC.AttachStore(st2)
+			warmBefore := selector.ProbeCount()
+			for _, c := range cells {
+				m, err := gen.Generate(gen.FromFeatures(c.fv, c.seed))
+				if err != nil {
+					continue
+				}
+				a, err := selector.BuildAuto(m, selector.AutoOptions{K: c.k, Probe: true, Cache: warmDC, NoLearn: true})
+				if err != nil {
+					continue
+				}
+				r.Rows[c.row][warmPickCol] = a.Chosen()
+				r.Rows[c.row][warmCachedCol] = fmt.Sprintf("%v", a.Choice().Cached)
+				if a.Choice().Cached && a.Chosen() == c.coldPick {
+					warmOK++
+				}
+			}
+			warmProbes = selector.ProbeCount() - warmBefore
+			warmDC.AttachStore(nil)
+			st2.Close()
+		} else {
+			r.AddNote("warm restart skipped: %v", err)
+		}
+	}
+
 	for _, k := range ks {
 		if s := retainedAuto[k]; len(s) > 0 {
 			verdict := "PASS"
@@ -106,9 +233,17 @@ func RunSelect(o Options) []*Report {
 		if s := retainedModel[k]; len(s) > 0 {
 			r.AddNote("k=%d: model-only pick mean retained %.3f over %d matrices", k, stats.Mean(s), len(s))
 		}
+		if s := retainedLearned[k]; len(s) > 0 {
+			r.AddNote("k=%d: learned (model+experience) pick mean retained %.3f over %d matrices", k, stats.Mean(s), len(s))
+		}
 	}
 	hits, misses := dc.Stats()
-	r.AddNote("decision cache: %d entries, %d hits / %d misses during this run", dc.Len(), hits, misses)
+	r.AddNote("decision cache: %d entries, %d hits / %d misses during the cold pass; cold probes executed: %d", dc.Len(), hits, misses, coldProbes)
+	if st != nil {
+		r.AddNote("warm restart: %d/%d decisions reproduced from the journal, probes executed: %d", warmOK, len(cells), warmProbes)
+		ss := st.Stats()
+		r.AddNote("journal: %s — %d decisions / %d experiences loaded, %d appended this run", ss.Path, ss.Decisions, ss.Experiences, ss.Appended)
+	}
 	r.AddNote("method: retained = measured perf of the picked format / measured best over all buildable formats; timings are min ns/op over 2 adaptive runs (>=%v), %d workers", selectMinMeasure, exec.MaxWorkers())
 	return []*Report{r}
 }
@@ -202,6 +337,17 @@ func measureNsBench(fn func()) float64 {
 		}
 	}
 	return best
+}
+
+// headerIndex returns the column index of name, panicking on drift
+// between the header literal and the code that fills it.
+func headerIndex(header []string, name string) int {
+	for i, h := range header {
+		if h == name {
+			return i
+		}
+	}
+	panic("bench: select header misses column " + name)
 }
 
 // minOf returns the smallest value (0 for an empty slice).

@@ -44,6 +44,97 @@ func TestDecisionCacheBasics(t *testing.T) {
 	}
 }
 
+// TestDecisionCacheLRUBound pins the memory bound of a long-running
+// server: the cache must never exceed its cap, must evict in
+// least-recently-used order, and Get must count as a use.
+func TestDecisionCacheLRUBound(t *testing.T) {
+	c := NewDecisionCache()
+	if c.Cap() != DefaultDecisionCap {
+		t.Fatalf("default cap = %d, want %d", c.Cap(), DefaultDecisionCap)
+	}
+	c.SetCap(3)
+	key := func(i int) DecisionKey { return DecisionKey{Fingerprint: uint64(i), Device: "host", K: 1, Shards: 1} }
+	for i := 0; i < 3; i++ {
+		c.Put(key(i), Decision{Format: "CSR5"})
+	}
+	// Touch key 0 so key 1 is the LRU victim.
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("key 0 missing")
+	}
+	c.Put(key(3), Decision{Format: "COO"})
+	if c.Len() != 3 {
+		t.Fatalf("len = %d past cap 3", c.Len())
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Error("key 1 should have been evicted (least recently used)")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(key(i)); !ok {
+			t.Errorf("key %d should have survived", i)
+		}
+	}
+	if c.Evicted() != 1 {
+		t.Errorf("evicted = %d, want 1", c.Evicted())
+	}
+	// Shrinking the cap evicts immediately; restoring the default re-opens
+	// headroom.
+	c.SetCap(1)
+	if c.Len() != 1 {
+		t.Errorf("len = %d after shrink to 1", c.Len())
+	}
+	if prev := c.SetCap(0); prev != 1 {
+		t.Errorf("SetCap returned %d, want 1", prev)
+	}
+	if c.Cap() != DefaultDecisionCap {
+		t.Errorf("cap = %d, want default restored", c.Cap())
+	}
+	// Re-putting an existing key must not grow the count.
+	c.Put(key(3), Decision{Format: "ELL"})
+	if d, _ := c.Get(key(3)); d.Format != "ELL" {
+		t.Errorf("re-put did not replace: %+v", d)
+	}
+}
+
+// TestDecisionCacheEvictionKeepsJournal: eviction trims memory only — an
+// evicted decision must still re-load from the attached journal on the
+// next restart.
+func TestDecisionCacheEvictionKeepsJournal(t *testing.T) {
+	st, dir := tempStore(t)
+	c := NewDecisionCache()
+	c.SetCap(2)
+	c.AttachStore(st)
+	for i := 0; i < 5; i++ {
+		c.Put(dk(uint64(i), 1), Decision{Format: "CSR5"})
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	st.Close()
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	keys, _ := re.Decisions()
+	if len(keys) != 5 {
+		t.Fatalf("journal kept %d decisions, want all 5 despite eviction", len(keys))
+	}
+	// A fresh cache warm-loads the most recent ones within its cap.
+	c2 := NewDecisionCache()
+	c2.SetCap(2)
+	if n := c2.AttachStore(re); n != 5 {
+		t.Fatalf("warm-load reported %d, want 5", n)
+	}
+	if c2.Len() != 2 {
+		t.Fatalf("warm-loaded len = %d, want cap 2", c2.Len())
+	}
+	for _, i := range []int{3, 4} {
+		if _, ok := c2.Get(dk(uint64(i), 1)); !ok {
+			t.Errorf("newest key %d should have survived the capped warm-load", i)
+		}
+	}
+}
+
 func TestDecisionCacheConcurrent(t *testing.T) {
 	c := NewDecisionCache()
 	var wg sync.WaitGroup

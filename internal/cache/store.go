@@ -1,0 +1,562 @@
+package cache
+
+// Disk persistence for the selection subsystem: an append-only, versioned
+// JSONL journal holding format decisions and probe-outcome experience
+// records, so a restarted server resumes with everything previous processes
+// learned instead of re-ranking and re-probing every matrix.
+//
+// Design constraints, in order:
+//
+//   - Crash safety over completeness. Records append one line at a time
+//     with O_APPEND writes; a torn final line loses one record, never the
+//     journal. Compaction writes a fresh temp file and renames it over the
+//     old one atomically.
+//   - Corruption tolerance. Load skips anything it cannot parse — torn
+//     lines, garbage, records from a different schema version — and keeps
+//     going. A damaged journal degrades to a smaller one; it never takes
+//     the cache down and never fails a Build.
+//   - Invalidation by key, not by trust. A header line pins the schema
+//     version and a host fingerprint (OS/arch/CPU count). A journal written
+//     by a different schema or machine is discarded wholesale: decisions
+//     are measurements, and measurements from different hardware are not
+//     evidence here.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+const (
+	// SchemaVersion is the journal schema. Records carrying a different
+	// version are skipped on load; a header carrying a different version
+	// invalidates the whole journal.
+	SchemaVersion = 1
+
+	// EnvCacheDir overrides the journal directory without code changes.
+	EnvCacheDir = "SPMV_CACHE_DIR"
+
+	// journalName is the journal file inside the cache directory.
+	journalName = "decisions.jsonl"
+
+	// maxJournalExperiences bounds how many experience records Load keeps
+	// (most recent win): the online selector needs a working set, not an
+	// unbounded history of every probe a long-lived server ever ran.
+	maxJournalExperiences = 4096
+
+	// maxJournalDecisions bounds the store's in-memory decision mirror
+	// (and, through compaction, the journal itself) the same way: a few
+	// multiples of the DecisionCache LRU cap, oldest dropped first. A
+	// server streaming millions of distinct matrices must not grow the
+	// persistence layer without bound either.
+	maxJournalDecisions = 4 * DefaultDecisionCap
+
+	// compactDeadMin is how many superseded (dead) journal lines accumulate
+	// before an append triggers an automatic compaction.
+	compactDeadMin = 1024
+)
+
+// dirOverride is the SetDir override; guarded by dirMu.
+var (
+	dirMu       sync.Mutex
+	dirOverride string
+)
+
+// SetDir overrides the cache directory programmatically. An empty dir
+// restores the default resolution (SPMV_CACHE_DIR, then the user cache
+// dir). Returns the previous override.
+func SetDir(dir string) string {
+	dirMu.Lock()
+	defer dirMu.Unlock()
+	prev := dirOverride
+	dirOverride = dir
+	return prev
+}
+
+// Configured reports whether a journal location has been explicitly
+// chosen (SetDir override or SPMV_CACHE_DIR): the signal CLIs and the
+// select experiment use to decide whether persistence is opted in.
+func Configured() bool {
+	dirMu.Lock()
+	o := dirOverride
+	dirMu.Unlock()
+	return o != "" || os.Getenv(EnvCacheDir) != ""
+}
+
+// RemoveJournal deletes the journal file in dir — the cold-start switch.
+// A missing journal is not an error.
+func RemoveJournal(dir string) error {
+	err := os.Remove(filepath.Join(dir, journalName))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// ConfigureFlags applies the CLIs' shared persistence flags: a non-empty
+// dir overrides the journal location (-cache-dir), cold deletes the
+// journal at the resolved location (-cold). Returns an error when cold
+// has no journal to act on or the location is unusable.
+func ConfigureFlags(dir string, cold bool) error {
+	if dir != "" {
+		SetDir(dir)
+	}
+	if Configured() {
+		d, err := Dir()
+		if err != nil {
+			return fmt.Errorf("cache dir: %w", err)
+		}
+		if cold {
+			if err := RemoveJournal(d); err != nil {
+				return fmt.Errorf("cold start: %w", err)
+			}
+		}
+	} else if cold {
+		return fmt.Errorf("-cold needs a journal: give -cache-dir or set %s", EnvCacheDir)
+	}
+	return nil
+}
+
+// Dir resolves the journal directory: the SetDir override, then the
+// SPMV_CACHE_DIR environment variable, then <user cache dir>/go-spmv.
+func Dir() (string, error) {
+	dirMu.Lock()
+	o := dirOverride
+	dirMu.Unlock()
+	if o != "" {
+		return o, nil
+	}
+	if env := os.Getenv(EnvCacheDir); env != "" {
+		return env, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("cache: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "go-spmv"), nil
+}
+
+// HostFingerprint identifies the machine context a journal's measurements
+// belong to — including the usable parallelism (GOMAXPROCS), because the
+// host device model and every micro-probe run at that width: a decision
+// probed under 2 workers is not evidence about a 32-worker process even
+// on the same chip. Decisions made in one context are not evidence about
+// another, so a fingerprint mismatch invalidates the journal.
+func HostFingerprint() string {
+	return fmt.Sprintf("%s/%s/cpu%d/p%d", runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+}
+
+// Experience is one probe outcome: the feature vector of a matrix whose
+// shortlist was micro-probed, and the format that measured fastest, in the
+// (device, k) regime the probe targeted. The online selector consumes these
+// as labeled k-NN samples.
+type Experience struct {
+	Device string             `json:"device"`
+	K      int                `json:"k"`
+	FV     core.FeatureVector `json:"fv"`
+	Best   string             `json:"best"`
+}
+
+// record is one JSONL journal line. Kind selects which fields are live:
+// "header" pins schema+host, "decision" carries a DecisionKey/Decision
+// pair, "experience" carries a probe outcome.
+type record struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+
+	// header
+	Schema int    `json:"schema,omitempty"`
+	Host   string `json:"host,omitempty"`
+
+	// decision
+	FP     uint64 `json:"fp,omitempty"`
+	Device string `json:"device,omitempty"`
+	K      int    `json:"k,omitempty"`
+	Shards int    `json:"shards,omitempty"`
+	Format string `json:"format,omitempty"`
+	Probed bool   `json:"probed,omitempty"`
+
+	// experience
+	Exp *Experience `json:"exp,omitempty"`
+}
+
+// StoreStats is a point-in-time summary of a journal, for CLI -json output.
+type StoreStats struct {
+	Path        string // journal file path
+	Decisions   int    // live decisions loaded at open
+	Experiences int    // experience records loaded at open
+	Appended    int    // records appended by this process
+	Dead        int    // superseded lines awaiting compaction
+	Invalidated bool   // open discarded a journal from another schema/host
+	Skipped     int    // unparseable or foreign-version lines skipped at load
+}
+
+// Store is an open journal: decisions and experiences loaded at Open time
+// plus an append handle for everything learned afterwards. A Store is safe
+// for concurrent use within one process. Cross-process sharing is
+// best-effort: O_APPEND keeps individual line writes intact (each record
+// is one write call well under the pipe-atomicity bound), but a
+// compaction by one process rewrites the file from its own state — lines
+// another live process appended since its Open are dropped, and that
+// process's handle keeps writing to the unlinked inode until its next
+// Open. Give concurrent writers separate directories, or accept
+// last-compactor-wins; proper file locking is a ROADMAP follow-up.
+type Store struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+
+	decisions   map[DecisionKey]Decision
+	order       []DecisionKey // journal order of decisions (oldest first)
+	experiences []Experience
+
+	dead        int // superseded decision lines in the file
+	appended    int
+	loadedDec   int
+	loadedExp   int
+	headerOK    bool // a valid local header already leads the file
+	invalidated bool
+	skipped     int
+}
+
+// Open opens (creating if needed) the journal in dir, loads every record it
+// can parse, and leaves the file positioned for appends. The load is
+// corruption-tolerant: bad lines are skipped, a schema or host-fingerprint
+// mismatch discards the journal's contents and starts it fresh. Open fails
+// only when the directory or file itself is unusable.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: create dir: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	s := &Store{
+		path:      path,
+		decisions: make(map[DecisionKey]Decision),
+	}
+	s.load(path)
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cache: open journal: %w", err)
+	}
+	s.f = f
+	if s.invalidated {
+		// Rewrite in place: drop the foreign-host/schema lines before this
+		// process starts appending after them. Mere dead weight does NOT
+		// compact at open: a second handle on a live journal (stats
+		// readers, the select experiment's restart simulation) must never
+		// rename the file out from under the owning appender — dead-weight
+		// compaction runs on append, where the owner holds the pen.
+		if err := s.compactLocked(); err != nil && s.f == nil {
+			// The rename succeeded but the reopen failed: retry once so
+			// appends are not silently dropped for the process lifetime.
+			// (On earlier failures compactLocked leaves the original handle
+			// in place and appends keep working on the old file.)
+			if nf, err2 := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err2 == nil {
+				s.f = nf
+			}
+		}
+	} else if !s.headerOK {
+		// Fresh journal: pin schema and host before the first record.
+		s.appendLocked(record{V: SchemaVersion, Kind: "header", Schema: SchemaVersion, Host: HostFingerprint()})
+	}
+	return s, nil
+}
+
+// load reads the journal once, populating decisions/experiences. Never
+// fails: an unreadable file is an empty journal.
+func (s *Store) load(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	headerSeen := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			s.skipped++
+			continue
+		}
+		switch {
+		case r.Kind == "header":
+			if headerSeen {
+				continue
+			}
+			headerSeen = true
+			if r.Schema != SchemaVersion || r.Host != HostFingerprint() {
+				// Foreign journal: forget everything read so far and ignore
+				// the rest; Open rewrites the file.
+				s.decisions = make(map[DecisionKey]Decision)
+				s.order = s.order[:0]
+				s.experiences = s.experiences[:0]
+				s.invalidated = true
+				s.drain(sc)
+				s.loadedDec, s.loadedExp = 0, 0
+				return
+			}
+			s.headerOK = true
+		case r.V != SchemaVersion:
+			s.skipped++
+		case r.Kind == "decision":
+			k := DecisionKey{Fingerprint: r.FP, Device: r.Device, K: r.K, Shards: r.Shards}
+			if _, seen := s.decisions[k]; seen {
+				s.dead++ // the later line supersedes the earlier one
+			} else {
+				s.order = append(s.order, k)
+			}
+			s.decisions[k] = Decision{Format: r.Format, Probed: r.Probed}
+			s.evictDecisionsLocked()
+		case r.Kind == "experience" && r.Exp != nil:
+			s.experiences = append(s.experiences, *r.Exp)
+			if len(s.experiences) > maxJournalExperiences {
+				s.dead += len(s.experiences) - maxJournalExperiences
+				s.experiences = s.experiences[len(s.experiences)-maxJournalExperiences:]
+			}
+		default:
+			s.skipped++
+		}
+	}
+	// A scanner error (torn tail, over-long line) just ends the load early.
+	s.loadedDec = len(s.decisions)
+	s.loadedExp = len(s.experiences)
+}
+
+// evictDecisionsLocked drops the oldest-journaled decisions past the
+// in-memory bound; the dropped lines become dead weight the next
+// compaction removes from the file. Callers hold s.mu (or own s during
+// load).
+func (s *Store) evictDecisionsLocked() {
+	for len(s.order) > maxJournalDecisions {
+		delete(s.decisions, s.order[0])
+		s.order = s.order[1:]
+		s.dead++
+	}
+}
+
+// drain consumes the rest of an invalidated journal so load can count what
+// it is discarding (for StoreStats only).
+func (s *Store) drain(sc *bufio.Scanner) {
+	for sc.Scan() {
+		s.skipped++
+	}
+}
+
+// Decisions returns the decisions loaded at Open, in journal (oldest-first)
+// order, for warm-loading an in-memory cache.
+func (s *Store) Decisions() (keys []DecisionKey, decs []Decision) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys = make([]DecisionKey, len(s.order))
+	decs = make([]Decision, len(s.order))
+	for i, k := range s.order {
+		keys[i] = k
+		decs[i] = s.decisions[k]
+	}
+	return keys, decs
+}
+
+// Experiences returns the probe outcomes loaded at Open plus any appended
+// since, oldest first.
+func (s *Store) Experiences() []Experience {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Experience, len(s.experiences))
+	copy(out, s.experiences)
+	return out
+}
+
+// AppendDecision journals one decision. Identical re-puts are dropped;
+// a changed decision for a known key marks the old line dead and may
+// trigger an automatic compaction.
+func (s *Store) AppendDecision(k DecisionKey, d Decision) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.decisions[k]; ok {
+		if prev == d {
+			return
+		}
+		s.dead++
+	} else {
+		s.order = append(s.order, k)
+	}
+	s.decisions[k] = d
+	s.evictDecisionsLocked()
+	s.appendLocked(record{
+		V: SchemaVersion, Kind: "decision",
+		FP: k.Fingerprint, Device: k.Device, K: k.K, Shards: k.Shards,
+		Format: d.Format, Probed: d.Probed,
+	})
+	// No auto-compaction here: AppendDecision runs under the decision
+	// cache's mutex, and a journal rewrite (fsync + rename) there would
+	// stall every concurrent Get. The cache triggers compaction after
+	// releasing its lock (see DecisionCache.Put / NeedsCompact).
+}
+
+// NeedsCompact reports whether enough dead lines have accumulated that
+// the owning appender should call Compact.
+func (s *Store) NeedsCompact() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead >= compactDeadMin
+}
+
+// AppendExperience journals one probe outcome.
+func (s *Store) AppendExperience(e Experience) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.experiences = append(s.experiences, e)
+	if len(s.experiences) > maxJournalExperiences {
+		s.dead += len(s.experiences) - maxJournalExperiences
+		s.experiences = s.experiences[len(s.experiences)-maxJournalExperiences:]
+	}
+	s.appendLocked(record{V: SchemaVersion, Kind: "experience", Exp: &e})
+	if s.dead >= compactDeadMin {
+		_ = s.compactLocked()
+	}
+}
+
+// appendLocked writes one record as a single JSONL line. Errors are
+// swallowed by design: persistence is an accelerator, and a full disk must
+// not fail a Build. Callers hold s.mu.
+func (s *Store) appendLocked(r record) {
+	if s.f == nil {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.f.Write(b); err == nil {
+		if r.Kind != "header" {
+			s.appended++
+		}
+	}
+}
+
+// Compact rewrites the journal to hold exactly the live records: a fresh
+// header, every current decision, every retained experience. The rewrite is
+// atomic (temp file + rename), so a crash mid-compaction leaves the old
+// journal intact.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), journalName+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	write := func(r record) error {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = w.Write(b)
+		return err
+	}
+	if err := write(record{V: SchemaVersion, Kind: "header", Schema: SchemaVersion, Host: HostFingerprint()}); err != nil {
+		tmp.Close()
+		return err
+	}
+	for _, k := range s.order {
+		d := s.decisions[k]
+		if err := write(record{
+			V: SchemaVersion, Kind: "decision",
+			FP: k.Fingerprint, Device: k.Device, K: k.K, Shards: k.Shards,
+			Format: d.Format, Probed: d.Probed,
+		}); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	for _, e := range s.experiences {
+		exp := e
+		if err := write(record{V: SchemaVersion, Kind: "experience", Exp: &exp}); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return err
+	}
+	// Reopen the append handle on the new file.
+	if s.f != nil {
+		s.f.Close()
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.f = nil
+		return err
+	}
+	s.f = f
+	s.dead = 0
+	s.headerOK = true
+	// s.invalidated stays: it is the sticky "this open discarded a foreign
+	// journal" report, not a live state flag.
+	return nil
+}
+
+// Stats summarizes the journal for reports and CLI -json output.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Path:        s.path,
+		Decisions:   s.loadedDec,
+		Experiences: s.loadedExp,
+		Appended:    s.appended,
+		Dead:        s.dead,
+		Invalidated: s.invalidated,
+		Skipped:     s.skipped,
+	}
+}
+
+// Path returns the journal file path.
+func (s *Store) Path() string { return s.path }
+
+// Close flushes nothing (appends are unbuffered) and releases the file
+// handle. A closed store drops further appends silently.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	if errors.Is(err, os.ErrClosed) {
+		return nil
+	}
+	return err
+}

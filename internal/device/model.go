@@ -81,15 +81,7 @@ const (
 // features, stored in the named format. Format traits are derived
 // analytically via formats.EstimateTraits.
 func (s Spec) Estimate(fv core.FeatureVector, formatName string) Result {
-	if !formats.EstimateFeasible(formatName, fv) {
-		return Result{Feasible: false, Reason: formatName + ": structure-hostile build rejected"}
-	}
-	tr := formats.EstimateTraits(formatName, fv)
-	r := s.EstimateWithTraits(fv, tr)
-	if r.Feasible {
-		r.GFLOPS *= 1 + jitter(s.Name, formatName, fv)*jitterAmp
-	}
-	return r
+	return s.estimateMulti(fv, formatName, 1, true)
 }
 
 // fallbackMultiEff is the per-vector efficiency of the by-column SpMM
@@ -112,25 +104,44 @@ const fallbackMultiEff = 0.92
 // flips the win-rate ordering between regimes (e.g. ELL's padding skip
 // promotes it under SpMM; CSR5 falls behind its k = 1 rank).
 func (s Spec) EstimateMulti(fv core.FeatureVector, formatName string, k int) Result {
-	if k <= 1 {
-		return s.Estimate(fv, formatName)
+	return s.estimateMulti(fv, formatName, k, true)
+}
+
+// RankMulti is EstimateMulti without the deterministic measurement-noise
+// jitter: the selection subsystem ranks candidates by the model's central
+// estimate (noise in the ranking input only scrambles near-ties), while
+// the figure and evaluation paths keep the noisy variant that stands in
+// for measured data.
+func (s Spec) RankMulti(fv core.FeatureVector, formatName string, k int) Result {
+	return s.estimateMulti(fv, formatName, k, false)
+}
+
+func (s Spec) estimateMulti(fv core.FeatureVector, formatName string, k int, noise bool) Result {
+	if k < 1 {
+		k = 1
 	}
 	if !formats.EstimateFeasible(formatName, fv) {
 		return Result{Feasible: false, Reason: formatName + ": structure-hostile build rejected"}
 	}
 	tr, fused := formats.MultiTraits(formatName, fv, k)
-	if !fused {
+	if k > 1 && !fused {
 		r := s.estimateWithTraitsK(fv, tr, 1)
 		if !r.Feasible {
 			return r
 		}
 		r.GFLOPS *= fallbackMultiEff
-		r.GFLOPS *= 1 + jitterK(s.Name, formatName, fv, k)*jitterAmp
+		if noise {
+			r.GFLOPS *= 1 + jitterK(s.Name, formatName, fv, k)*jitterAmp
+		}
 		return r
 	}
 	r := s.estimateWithTraitsK(fv, tr, k)
-	if r.Feasible {
-		r.GFLOPS *= 1 + jitterK(s.Name, formatName, fv, k)*jitterAmp
+	if r.Feasible && noise {
+		if k > 1 {
+			r.GFLOPS *= 1 + jitterK(s.Name, formatName, fv, k)*jitterAmp
+		} else {
+			r.GFLOPS *= 1 + jitter(s.Name, formatName, fv)*jitterAmp
+		}
 	}
 	return r
 }
@@ -198,10 +209,17 @@ func imbalanceFactor(fv core.FeatureVector, tr formats.Traits, workers int) floa
 	}
 }
 
+// rowOverheadColumnMajor is the residual per-row cost of a column-major
+// slab sweep: rows run in the inner loop, so loop control amortizes over
+// whole slab columns and only the y update remains per row.
+const rowOverheadColumnMajor = 0.25
+
 // ilpEfficiency models the low-ILP bottleneck: short rows spend cycles on
 // loop control instead of FMAs. Fused k-wide kernels amortize loop control
 // over a register tile of up to 4 vectors, so their effective per-flop
-// overhead shrinks with min(k, 4).
+// overhead shrinks with min(k, 4); column-major slab sweeps (ELL-family
+// k = 1 kernels) sidestep per-row loop control entirely, which is why ELL
+// and HYB dominate short-row matrices despite identical traffic.
 func ilpEfficiency(fv core.FeatureVector, tr formats.Traits, k int) float64 {
 	overhead := rowOverheadScalar
 	if tr.Vectorizable {
@@ -210,6 +228,8 @@ func ilpEfficiency(fv core.FeatureVector, tr formats.Traits, k int) float64 {
 	if k > 1 {
 		tile := math.Min(float64(k), 4)
 		overhead /= tile
+	} else if tr.ColumnMajor {
+		overhead = rowOverheadColumnMajor
 	}
 	avg := math.Max(fv.AvgNNZPerRow, 1)
 	return avg / (avg + overhead)
@@ -242,7 +262,10 @@ func (s Spec) estimateCPU(fv core.FeatureVector, tr formats.Traits, k int) Resul
 		lanes = float64(s.LanesPerU)
 	}
 	ilp := ilpEfficiency(fv, tr, k)
-	tCompute := kk * float64(fv.NNZ) / (float64(s.Units) * lanes * s.FreqGHz * 1e9 * ilp)
+	// Decode work (compressed formats) is scalar cycles per stored entry on
+	// top of the FMA; it binds on few-core hosts and hides behind the
+	// memory wall on bandwidth-starved many-core parts.
+	tCompute := kk * float64(fv.NNZ) * (1 + tr.DecodeCycles) / (float64(s.Units) * lanes * s.FreqGHz * 1e9 * ilp)
 
 	// Short rows break the stream into tiny bursts that defeat the
 	// prefetchers, so even the memory-bound path degrades with low ILP —
@@ -291,7 +314,7 @@ func (s Spec) estimateGPU(fv core.FeatureVector, tr formats.Traits, k int) Resul
 
 	tMem := total / (s.MemBWGBs * 1e9 * gpuStreamEff * util)
 	ilp := ilpEfficiency(fv, tr, k)
-	tCompute := kk * float64(fv.NNZ) / (float64(s.Units) * s.FreqGHz * 1e9 * util * ilp)
+	tCompute := kk * float64(fv.NNZ) * (1 + tr.DecodeCycles) / (float64(s.Units) * s.FreqGHz * 1e9 * util * ilp)
 
 	// Warp-level scheduling hides skew well for the balanced formats; the
 	// row-granular ones still serialize giant rows on single warps.

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"math"
 	"runtime"
 	"time"
 
@@ -90,16 +91,24 @@ func (e NativeEngine) RunAll(m *matrix.CSR) []NativeResult {
 
 // HostSpec approximates the current machine as a Spec so modeled and native
 // results can sit on the same axes. Bandwidths are rough laptop/server
-// defaults; the native engine measures, it does not model.
+// defaults scaled by the usable core count — a single core drives only a
+// slice of the chip's aggregate bandwidth (one load/store unit, a few
+// outstanding misses), so a capped-GOMAXPROCS host must not be modeled as
+// compute-bound against full-chip bandwidth or every format's memory cost
+// collapses out of the ranking. The native engine measures, it does not
+// model.
 func HostSpec() Spec {
+	units := runtime.GOMAXPROCS(0)
+	memBW := math.Min(20, 12*float64(units))
+	llcBW := math.Min(200, 50*float64(units))
 	return Spec{
 		Name:      "host",
 		Class:     CPU,
-		Units:     runtime.GOMAXPROCS(0),
+		Units:     units,
 		LanesPerU: 4,
 		FreqGHz:   2.5,
 		LLCBytes:  32 << 20,
-		MemBWGBs:  20, LLCBWGBs: 200,
+		MemBWGBs:  memBW, LLCBWGBs: llcBW,
 		TDPWatts: 65, IdleWatts: 15,
 		Formats: formatNames(),
 	}

@@ -1,16 +1,12 @@
 package formats
 
-import (
-	"repro/internal/core"
-)
-
 // fusedMulti names the formats whose MultiplyMany is a fused register-tiled
 // kernel (every loaded nonzero feeds k FMAs); the rest run the by-column
 // fallback, one single-vector kernel call per right-hand side.
 var fusedMulti = map[string]bool{
 	"Naive-CSR": true, "Vec-CSR": true, "Bal-CSR": true, "MKL-IE": true,
-	"Merge-CSR": true, "ELL": true, "SELL-C-s": true, "BCSR": true,
-	"DIA": true, "COO": true,
+	"Merge-CSR": true, "ELL": true, "HYB": true, "SELL-C-s": true,
+	"BCSR": true, "DIA": true, "COO": true,
 }
 
 // FusedMulti reports whether the named format multiplies a k-wide block of
@@ -19,20 +15,6 @@ var fusedMulti = map[string]bool{
 // vectors); fallback formats keep their single-vector rate, which is why
 // the k = 1 and k > 1 regimes rank formats differently.
 func FusedMulti(name string) bool { return fusedMulti[name] }
-
-// MultiTraits returns the traits the named format presents to a k-wide
-// SpMM pass, plus whether that pass is fused. Today the traits equal
-// EstimateTraits for every format: the fused ELL kernel's rowLen table
-// does skip tail padding (it never reads padded slots), but on skewed
-// matrices the column-major stride then wastes most of each loaded cache
-// line on the surviving long rows, which measurement shows roughly
-// cancels the skip — so ELL honestly presents its padded k = 1 traits.
-// The k-regime ranking flip comes from the fused/fallback asymmetry the
-// second return value feeds into device.Spec.EstimateMulti: fused formats
-// amortize the matrix stream over k vectors, fallback formats do not.
-func MultiTraits(name string, fv core.FeatureVector, k int) (Traits, bool) {
-	return EstimateTraits(name, fv), FusedMulti(name)
-}
 
 // AutoChoice records how the selection subsystem arrived at a format
 // choice. It is attached to the Auto wrapper so callers (CLIs, benchmarks,
@@ -45,6 +27,7 @@ type AutoChoice struct {
 	Shortlist []string           // model ranking, best first
 	Probed    bool               // a micro-probe timed the shortlist
 	Cached    bool               // decision came from the decision cache
+	Learned   bool               // the experience base steered the shortlist
 	ProbeNs   map[string]float64 // measured ns/op per probed candidate
 }
 

@@ -84,8 +84,8 @@ func TestFusedMultiMatchesKernels(t *testing.T) {
 	// not the by-column fallback (see multi.go); drift here would skew the
 	// k-regime device model.
 	fused := []string{"Naive-CSR", "Vec-CSR", "Bal-CSR", "MKL-IE", "Merge-CSR",
-		"ELL", "SELL-C-s", "BCSR", "DIA", "COO"}
-	fallback := []string{"HYB", "CSR5", "SparseX", "VSL"}
+		"ELL", "HYB", "SELL-C-s", "BCSR", "DIA", "COO"}
+	fallback := []string{"CSR5", "SparseX", "VSL"}
 	for _, n := range fused {
 		if !FusedMulti(n) {
 			t.Errorf("FusedMulti(%q) = false, want true", n)
@@ -101,18 +101,35 @@ func TestFusedMultiMatchesKernels(t *testing.T) {
 	}
 }
 
-func TestMultiTraitsMatchesEstimate(t *testing.T) {
+// TestMultiTraitsContract pins the k-aware trait presentation: identical to
+// EstimateTraits at k = 1 and for every format without slab striding; the
+// fused slab formats (ELL, SELL-C-s, HYB) diverge at k > 1 per the
+// padding-skip and line-waste model in multitraits.go.
+func TestMultiTraitsContract(t *testing.T) {
 	m := autoTestMatrix(t)
 	fv := core.Extract(m)
+	slab := map[string]bool{"ELL": true, "SELL-C-s": true, "HYB": true}
 	for _, b := range Registry() {
 		for _, k := range []int{1, 8} {
 			tr, fused := MultiTraits(b.Name, fv, k)
-			if tr != EstimateTraits(b.Name, fv) {
-				t.Errorf("%s k=%d: MultiTraits diverges from EstimateTraits", b.Name, k)
-			}
 			if fused != FusedMulti(b.Name) {
 				t.Errorf("%s: fused flag mismatch", b.Name)
 			}
+			if k == 1 || !slab[b.Name] {
+				if tr != EstimateTraits(b.Name, fv) {
+					t.Errorf("%s k=%d: MultiTraits must match EstimateTraits", b.Name, k)
+				}
+			}
+		}
+	}
+	// Padding skip: the fused ELL and HYB kernels never touch tail padding.
+	for _, name := range []string{"ELL", "HYB"} {
+		tr, _ := MultiTraits(name, fv, 8)
+		if tr.PaddingRatio != 0 {
+			t.Errorf("%s k=8: padding %g, want 0 (rowLen table skips it)", name, tr.PaddingRatio)
+		}
+		if tr.MetaBytesPerNNZ <= 0 {
+			t.Errorf("%s k=8: non-positive meta %g", name, tr.MetaBytesPerNNZ)
 		}
 	}
 }

@@ -15,6 +15,7 @@ type COO struct {
 	plans      exec.PlanCache // SpMVParallel carry slots
 	addPlans   exec.PlanCache // spmvAddParallel carry lists (HYB spill)
 	mplans     exec.PlanCache // MultiplyMany k-wide carry slots
+	maddPlans  exec.PlanCache // multiplyManyAdd k-wide carry lists (HYB spill)
 }
 
 // newCOOFromParts wraps pre-built triplet arrays (used by NewCOO and the
@@ -23,7 +24,7 @@ func newCOOFromParts(rows, cols int, rowIdx, colIdx []int32, val []float64) *COO
 	return &COO{
 		rows: rows, cols: cols, rowIdx: rowIdx, colIdx: colIdx, val: val,
 		plans: exec.NewPlanCache(), addPlans: exec.NewPlanCache(),
-		mplans: exec.NewPlanCache(),
+		mplans: exec.NewPlanCache(), maddPlans: exec.NewPlanCache(),
 	}
 }
 

@@ -92,7 +92,7 @@ func (f *ELL) Traits() Traits {
 		pad = float64(int64(len(f.val))-f.nnz) / float64(f.nnz)
 		meta = float64(f.Bytes()-8*f.nnz) / float64(f.nnz)
 	}
-	return Traits{Balancing: RowGranular, PaddingRatio: pad, MetaBytesPerNNZ: meta, Vectorizable: true}
+	return Traits{Balancing: RowGranular, PaddingRatio: pad, MetaBytesPerNNZ: meta, Vectorizable: true, ColumnMajor: true}
 }
 
 // rowRange walks the slab column by column so every access is sequential —
@@ -294,7 +294,7 @@ func (f *HYB) Traits() Traits {
 		pad = float64(int64(len(f.ell.val))-f.ell.nnz) / float64(f.nnz)
 	}
 	return Traits{Balancing: NNZGranular, PaddingRatio: pad,
-		MetaBytesPerNNZ: float64(f.Bytes()-8*f.nnz) / float64(max64(f.nnz, 1)), Vectorizable: true}
+		MetaBytesPerNNZ: float64(f.Bytes()-8*f.nnz) / float64(max64(f.nnz, 1)), Vectorizable: true, ColumnMajor: true}
 }
 
 func max64(a, b int64) int64 {
@@ -336,12 +336,126 @@ func (f *HYB) SpMVParallel(x, y []float64, workers int) {
 	f.spill.spmvAddParallel(x, y, workers)
 }
 
-// MultiplyMany implements Format one vector at a time: the two-phase
-// ELL+spill kernel would need k-wide spill carries for marginal gain, as
-// HYB is off the multi-vector hot path.
+// MultiplyMany implements Format with the fused two-phase kernel: the ELL
+// part runs its fused slab kernel (rowLen table skipping tail padding),
+// then the COO spill accumulates k-wide on top with the same entry
+// chunking and boundary-carry merge order as the single-vector spill add —
+// so each vector's result is bit-identical to the by-column fallback this
+// kernel replaced (the ELL part is row-granular and the spill partitions
+// by entry count alone, making every per-row accumulation order match).
 func (f *HYB) MultiplyMany(y, x []float64, k int) {
 	checkShapeMulti("HYB", f.rows, f.cols, y, x, k)
-	multiplyManyByColumn(f, y, x, k)
+	f.ell.MultiplyMany(y, x, k)
+	f.spill.multiplyManyAdd(x, y, k, exec.MaxWorkers())
+}
+
+// multiplyManyAddSerial accumulates the row-sorted COO product of a k-wide
+// block onto an existing Y: per row run, per 4-vector register tile, the
+// run streams once — the k-wide twin of spmvAddSerial, accumulating each
+// vector's row sum in the same ascending entry order.
+func (f *COO) multiplyManyAddSerial(x, y []float64, k int) {
+	rowIdx, colIdx, val := f.rowIdx, f.colIdx, f.val
+	n := len(val)
+	e := 0
+	for e < n {
+		row := int(rowIdx[e])
+		re := e + 1
+		for re < n && int(rowIdx[re]) == row {
+			re++
+		}
+		cooRunInto(colIdx, val, x, y[row*k:row*k+k], k, e, re)
+		e = re
+	}
+}
+
+// cooMultiAddCarry is one deferred k-wide row contribution.
+type cooMultiAddCarry struct {
+	row  int32
+	sums []float64 // k partial sums, backed by the scratch arena
+}
+
+// cooMultiAddScratch is the plan-cached carry state of multiplyManyAdd:
+// per worker, the (at most two) boundary rows of its entry chunk with
+// their k-wide partial sums. The arena is sized workers*2*k for the
+// largest k this plan has served and grows under the plan lock.
+type cooMultiAddScratch struct {
+	carries [][]cooMultiAddCarry
+	arena   []float64
+}
+
+// multiplyManyAdd accumulates the k-wide COO product onto an existing Y
+// (used by HYB, which must not zero the ELL part's contribution). The
+// entry chunks, serial cutoff and carry merge order deliberately mirror
+// spmvAddParallel exactly — same workers, same boundaries — so each
+// vector's accumulation order, and therefore its rounding, is identical to
+// k single-vector spill adds.
+func (f *COO) multiplyManyAdd(x, y []float64, k, workers int) {
+	n := len(f.val)
+	if n == 0 {
+		return
+	}
+	workers = exec.Workers(int64(n), workers)
+	if workers <= 1 || n < 2*workers {
+		f.multiplyManyAddSerial(x, y, k)
+		return
+	}
+	g := exec.Acquire(workers)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.maddPlans.Get(g.Key(), func(kk exec.PlanKey) *exec.Plan {
+		return &exec.Plan{Scratch: &cooMultiAddScratch{carries: make([][]cooMultiAddCarry, kk.Workers)}}
+	})
+	sc := pl.Scratch.(*cooMultiAddScratch)
+	if pl.TryLock() {
+		defer pl.Unlock()
+		if len(sc.arena) < workers*2*k {
+			sc.arena = make([]float64, workers*2*k)
+		}
+	} else {
+		// Another call on this plan is mid-flight: private carry state keeps
+		// concurrent invocations fully parallel.
+		sc = &cooMultiAddScratch{
+			carries: make([][]cooMultiAddCarry, workers),
+			arena:   make([]float64, workers*2*k),
+		}
+	}
+	rowIdx, colIdx, val := f.rowIdx, f.colIdx, f.val
+	g.Run(workers, func(w int) {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		local := sc.carries[w][:0]
+		arena := sc.arena[w*2*k : (w+1)*2*k]
+		used := 0
+		e := lo
+		for e < hi {
+			row := rowIdx[e]
+			re := e + 1
+			for re < hi && rowIdx[re] == row {
+				re++
+			}
+			// A row is unsafe if it may be shared with a neighboring chunk.
+			sharedLeft := lo > 0 && rowIdx[lo-1] == row
+			sharedRight := re == hi && hi < n && rowIdx[hi] == row
+			if sharedLeft || sharedRight {
+				sums := arena[used*k : used*k+k]
+				used++
+				zero(sums)
+				cooRunInto(colIdx, val, x, sums, k, e, re)
+				local = append(local, cooMultiAddCarry{row, sums})
+			} else {
+				cooRunInto(colIdx, val, x, y[int(row)*k:int(row)*k+k], k, e, re)
+			}
+			e = re
+		}
+		sc.carries[w] = local
+	})
+	for _, local := range sc.carries {
+		for _, c := range local {
+			yb := y[int(c.row)*k : int(c.row)*k+k]
+			for t, s := range c.sums {
+				yb[t] += s
+			}
+		}
+	}
 }
 
 // cooCarry is one deferred row contribution of the spill-add kernel.

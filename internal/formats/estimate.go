@@ -59,12 +59,12 @@ func EstimateTraits(name string, fv core.FeatureVector) Traits {
 		// Padded slots cost a full 12 bytes each: meta = 12*(1+pad) - 8.
 		pad := skew
 		return Traits{Balancing: RowGranular, PaddingRatio: pad,
-			MetaBytesPerNNZ: 4 + 12*pad, Vectorizable: true}
+			MetaBytesPerNNZ: 4 + 12*pad, Vectorizable: true, ColumnMajor: true}
 	case "HYB":
 		spill := hybSpillFraction(skew)
 		pad := spill + 0.12 // the distribution noise pads short rows too
 		return Traits{Balancing: NNZGranular, PaddingRatio: pad,
-			MetaBytesPerNNZ: 4*(1+pad) + 8*spill, Vectorizable: true}
+			MetaBytesPerNNZ: 4*(1+pad) + 8*spill, Vectorizable: true, ColumnMajor: true}
 	case "CSR5":
 		// Tile descriptors: flags (8B) + lane bases (16B) per 64 entries,
 		// plus the segment tables (12B per non-empty row).
@@ -81,10 +81,13 @@ func EstimateTraits(name string, fv core.FeatureVector) Traits {
 		p := math.Min(fv.AvgNumNeigh/2, 0.999)
 		runFrac := math.Pow(p, 3) * (4 - 3*p)
 		// The unit-stream decode costs roughly one extra byte of effective
-		// traffic per nonzero, so compression only pays off once runs
-		// dominate — SparseX's large-compressible-matrix niche.
+		// traffic per nonzero, plus scalar decode work (DecodeCycles) that
+		// binds on few-core hosts — so compression only pays off once runs
+		// dominate and the stream is genuinely bandwidth-bound: SparseX's
+		// large-compressible-matrix niche.
 		meta := runFrac*1.0 + (1-runFrac)*3.0 + 12/avg + 1.0
-		return Traits{Balancing: NNZGranular, MetaBytesPerNNZ: meta, Preprocessed: true}
+		return Traits{Balancing: NNZGranular, MetaBytesPerNNZ: meta,
+			DecodeCycles: spxDecodeCycles, Preprocessed: true}
 	case "VSL":
 		// Every column in a 2D partition pads to the partition's longest
 		// column: roughly the accumulator depth (8) plus the upper tail of
@@ -97,17 +100,28 @@ func EstimateTraits(name string, fv core.FeatureVector) Traits {
 		colLen := math.Max(avg, 1)
 		pad := (8 + 3*math.Sqrt(colLen)) / colLen * (2 - fv.CrossRowSim) / 1.5
 		return Traits{Balancing: NNZGranular, PaddingRatio: pad,
-			MetaBytesPerNNZ: 8 + 16*pad, Vectorizable: true, Preprocessed: true}
+			MetaBytesPerNNZ: 8 + 16*pad, Vectorizable: true, ColumnMajor: true, Preprocessed: true}
 	case "DIA":
 		span := math.Max(fv.BWScaled*float64(fv.Cols), 1)
-		pad := math.Max(span/avg-1, 0)
+		// The closed form assumes every diagonal inside the mean band is
+		// densely filled; the union of per-row offsets always carries some
+		// slack diagonals, so the fill never reaches the ideal (floor 0.5).
+		pad := math.Max(span/avg-1, 0.5)
+		// The diagonal-major sweep rewrites its y range once per stored
+		// diagonal. Most of that traffic is cache-resident, but the residue
+		// per nonzero is what makes DIA lose to CSR on thin diagonals.
+		meta := 8*pad + 4*(1+pad)
 		return Traits{Balancing: RowGranular, PaddingRatio: pad,
-			MetaBytesPerNNZ: 8 * pad, Vectorizable: true}
+			MetaBytesPerNNZ: meta, Vectorizable: true}
 	case "BCSR":
 		fill := math.Min(1+fv.AvgNumNeigh/2+0.5*fv.CrossRowSim, 4)
 		pad := 4/fill - 1
+		// A stored 2x2 block streams 32 value bytes plus a 4-byte block
+		// column index whatever its fill, so per nonzero the kernel moves
+		// 36/fill bytes — the padded values are traffic, not just slack,
+		// which is what makes BCSR lose on low-fill matrices.
 		return Traits{Balancing: RowGranular, PaddingRatio: pad,
-			MetaBytesPerNNZ: 4 / fill, Vectorizable: true, Preprocessed: true}
+			MetaBytesPerNNZ: 36/fill - 8, Vectorizable: true, Preprocessed: true}
 	}
 	return Traits{Balancing: RowGranular, MetaBytesPerNNZ: csrMeta}
 }

@@ -93,6 +93,17 @@ type Traits struct {
 	// Vectorizable reports whether the inner loop is laid out for SIMD
 	// (column-major chunks, unrolled tiles).
 	Vectorizable bool
+	// ColumnMajor reports a slab layout whose single-vector kernel walks
+	// rows in the INNER loop (ELL/HYB column sweeps, VSL column streams):
+	// per-row loop control amortizes over the whole slab column, so the
+	// short-row ILP penalty of row-major kernels does not apply at k = 1.
+	ColumnMajor bool
+	// DecodeCycles is the extra unit-cycles of scalar decode work per
+	// stored entry beyond the FMA itself (compressed formats pay it to
+	// expand their streams). It is compute cost, not traffic: on
+	// bandwidth-starved many-core devices it hides behind the memory wall,
+	// on few-core hosts it is the binding constraint.
+	DecodeCycles float64
 	// Preprocessed reports inspector-executor style build-time analysis,
 	// which the paper excludes from kernel time but notes as a cost.
 	Preprocessed bool

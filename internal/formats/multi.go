@@ -16,7 +16,7 @@ package formats
 // handled separately): 4 accumulators hide the FP-add latency chain
 // without spilling, and the tile's x operands fit one 256-bit vector.
 //
-// Formats off the hot path (HYB, CSR5, SparseX, VSL) use the
+// Formats off the hot path (CSR5, SparseX, VSL) use the
 // multiplyManyByColumn fallback: one existing kernel call per vector, with
 // gather/scatter between the row-major block and contiguous temporaries.
 

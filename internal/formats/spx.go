@@ -162,8 +162,15 @@ func (f *SPX) Traits() Traits {
 	if f.nnz > 0 {
 		meta = float64(f.bytesTotal-8*f.nnz) / float64(f.nnz)
 	}
-	return Traits{Balancing: NNZGranular, MetaBytesPerNNZ: meta, Preprocessed: true}
+	return Traits{Balancing: NNZGranular, MetaBytesPerNNZ: meta,
+		DecodeCycles: spxDecodeCycles, Preprocessed: true}
 }
+
+// spxDecodeCycles is the scalar unit-decode work per stored entry the
+// run-length expansion costs on top of the FMA (branch on unit header,
+// delta add, bounds walk) — compute the device model charges against the
+// clock, not the memory bus.
+const spxDecodeCycles = 2.0
 
 func (f *SPX) rowRange(x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {

@@ -180,7 +180,7 @@ func (f *VSL) Traits() Traits {
 		meta = float64(f.Bytes()-8*f.nnz) / float64(f.nnz)
 	}
 	return Traits{Balancing: NNZGranular, PaddingRatio: pad,
-		MetaBytesPerNNZ: meta, Vectorizable: true, Preprocessed: true}
+		MetaBytesPerNNZ: meta, Vectorizable: true, ColumnMajor: true, Preprocessed: true}
 }
 
 // SpMV implements Format.

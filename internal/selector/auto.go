@@ -48,18 +48,28 @@ type AutoOptions struct {
 	// NoCache disables decision caching entirely (benchmarks that must
 	// observe the full pipeline every time).
 	NoCache bool
+	// NoLearn disables the online-learned experience base for this build:
+	// neither consulting past probe outcomes nor recording new ones. The
+	// model-only baselines use it so their numbers reflect the analytical
+	// model alone.
+	NoLearn bool
 }
 
 // BuildAuto selects a storage format for the matrix and builds it: the
 // paper's feature analysis driving execution. The pipeline is
 //
 //  1. extract the five-feature vector (core.Extract);
-//  2. consult the decision cache keyed by (fingerprint, device, k, shards);
+//  2. consult the decision cache keyed by (fingerprint, device, k, shards)
+//     — warm-loaded from the disk journal when persistence is on, so a
+//     restarted process reuses every decision its predecessors made;
 //  3. on a miss, shortlist candidates by the k-regime device model
-//     (device.Spec.EstimateMulti ranking, plus the RulesK pick);
+//     (device.Spec.EstimateMulti ranking, plus the RulesK pick), and let
+//     the online-learned experience base promote the measured winner of a
+//     nearby matrix to the front of the shortlist;
 //  4. optionally micro-probe the shortlist — time each candidate on a
-//     row-sampled sub-matrix through the execution engine — and keep the
-//     measured winner;
+//     row-sampled sub-matrix through the execution engine — keep the
+//     measured winner, and record the outcome as a labeled sample so the
+//     next decision starts smarter;
 //  5. build the winner, falling down the shortlist (and ultimately to
 //     Naive-CSR) if a build refuses the matrix, and cache the decision.
 //
@@ -68,6 +78,7 @@ type AutoOptions struct {
 // internal/formats because selection consults the device models, which
 // themselves build on formats' trait estimates.
 func BuildAuto(m *matrix.CSR, o AutoOptions) (*formats.Auto, error) {
+	maybeAttachEnvJournal()
 	k := o.K
 	if k < 1 {
 		k = 1
@@ -120,6 +131,15 @@ func BuildAuto(m *matrix.CSR, o AutoOptions) (*formats.Auto, error) {
 		// builds and is never a bad worst case.
 		shortlist = []string{"Naive-CSR"}
 	}
+	if !o.NoLearn {
+		// A measured winner of a nearby matrix outranks the analytical
+		// model: promote it to the front (it becomes the pick when no probe
+		// runs, and a probed candidate otherwise).
+		if name, ok := learnedPick(spec.Name, k, fv); ok {
+			shortlist = promote(shortlist, name)
+			choice.Learned = true
+		}
+	}
 	choice.Shortlist = shortlist
 
 	pick := shortlist[0]
@@ -136,6 +156,9 @@ func BuildAuto(m *matrix.CSR, o AutoOptions) (*formats.Auto, error) {
 					choice.ProbeNs[r.Format] = r.NsPerOp
 				}
 			}
+			if !o.NoLearn {
+				observeWinner(dc, spec.Name, k, fv, winner)
+			}
 		}
 	}
 
@@ -151,6 +174,19 @@ func BuildAuto(m *matrix.CSR, o AutoOptions) (*formats.Auto, error) {
 		dc.Put(key, cache.Decision{Format: f.Name(), Probed: choice.Probed})
 	}
 	return formats.NewAuto(f, choice), nil
+}
+
+// promote moves name to the front of the shortlist, inserting it when the
+// model ranking missed it entirely.
+func promote(shortlist []string, name string) []string {
+	out := make([]string, 0, len(shortlist)+1)
+	out = append(out, name)
+	for _, s := range shortlist {
+		if s != name {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // buildByName builds one named format for the matrix.

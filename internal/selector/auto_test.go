@@ -214,11 +214,12 @@ func TestShortlistRanksAndIncludesRules(t *testing.T) {
 		if len(sl) < 3 {
 			t.Fatalf("k=%d: shortlist %v too short", k, sl)
 		}
-		// Best-first: model estimates must be non-increasing over the
-		// ranked prefix (the appended RulesK pick may rank anywhere).
-		prev := s.EstimateMulti(fv, sl[0], k).GFLOPS
+		// Best-first: the noise-free ranking estimates must be
+		// non-increasing over the ranked prefix (the appended RulesK pick
+		// may rank anywhere).
+		prev := s.RankMulti(fv, sl[0], k).GFLOPS
 		for _, name := range sl[1:3] {
-			g := s.EstimateMulti(fv, name, k).GFLOPS
+			g := s.RankMulti(fv, name, k).GFLOPS
 			if g > prev+1e-9 {
 				t.Errorf("k=%d: shortlist not ranked: %v", k, sl)
 			}
@@ -231,7 +232,7 @@ func TestShortlistRanksAndIncludesRules(t *testing.T) {
 				found = true
 			}
 		}
-		if !found && s.EstimateMulti(fv, ruled, k).Feasible {
+		if !found && s.RankMulti(fv, ruled, k).Feasible {
 			t.Errorf("k=%d: shortlist %v misses the rules pick %q", k, sl, ruled)
 		}
 	}

@@ -1,0 +1,183 @@
+package selector
+
+// Online learning: the selection subsystem records every micro-probe
+// outcome as a labeled feature-space sample and consults those samples on
+// later decisions, so the ranking improves with use — the SMART-style
+// reuse-measured-history loop the autotuning literature shows selection
+// quality hinges on. Experience lives in a per-(device, k) k-NN base,
+// persists in the same journal as the decision cache, and warm-loads on
+// startup, so a restarted server keeps everything its predecessors
+// measured.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+const (
+	// learnKNN is the vote width of the experience k-NN: probe outcomes are
+	// sparse and high-signal, so a narrow vote tracks them closely.
+	learnKNN = 3
+	// learnMaxSamples bounds each regime's experience window.
+	learnMaxSamples = 2048
+	// LearnMaxDist is how far (core.Distance) the nearest recorded probe
+	// outcome may be from a new matrix and still steer its shortlist;
+	// beyond it the analytical model decides alone. The threshold sits at
+	// roughly "same footprint class, similar row profile".
+	LearnMaxDist = 0.15
+)
+
+// regimeKey partitions experience: a winner measured on one device in one
+// RHS regime says nothing about another.
+type regimeKey struct {
+	device string
+	k      int
+}
+
+var learnedMu sync.Mutex
+var learnedBase = map[regimeKey]*Nearest{}
+
+// probeRuns counts micro-probe invocations process-wide; the persistence CI
+// gate asserts a warm restart performs zero.
+var probeRuns atomic.Int64
+
+// ProbeCount returns how many micro-probe sweeps this process has run.
+func ProbeCount() int64 { return probeRuns.Load() }
+
+// learnedFor returns (creating on demand) the experience base for a regime.
+func learnedFor(device string, k int) *Nearest {
+	learnedMu.Lock()
+	defer learnedMu.Unlock()
+	key := regimeKey{device, k}
+	n, ok := learnedBase[key]
+	if !ok {
+		n = NewOnline(learnKNN, learnMaxSamples)
+		learnedBase[key] = n
+	}
+	return n
+}
+
+// LearnedLen reports how many experience samples the regime holds.
+func LearnedLen(device string, k int) int {
+	learnedMu.Lock()
+	n, ok := learnedBase[regimeKey{device, k}]
+	learnedMu.Unlock()
+	if !ok {
+		return 0
+	}
+	return n.Len()
+}
+
+// ResetLearned drops every in-memory experience sample (tests and
+// benchmark harnesses that need a cold selector).
+func ResetLearned() {
+	learnedMu.Lock()
+	learnedBase = map[regimeKey]*Nearest{}
+	learnedMu.Unlock()
+}
+
+// observeWinner records one measured probe outcome: into the in-memory
+// k-NN base immediately, and into the journal behind the decision cache
+// (when one is attached) for the next process.
+func observeWinner(dc *cache.DecisionCache, device string, k int, fv core.FeatureVector, best string) {
+	learnedFor(device, k).Observe(Sample{FV: fv, Best: best})
+	if st := dc.Store(); st != nil {
+		st.AppendExperience(cache.Experience{Device: device, K: k, FV: fv, Best: best})
+	}
+}
+
+// learnedPick consults the regime's experience base; ok only when a
+// recorded outcome lies within LearnMaxDist of the new matrix.
+func learnedPick(device string, k int, fv core.FeatureVector) (string, bool) {
+	learnedMu.Lock()
+	n, ok := learnedBase[regimeKey{device, k}]
+	learnedMu.Unlock()
+	if !ok {
+		return "", false
+	}
+	return n.PredictNear(fv, LearnMaxDist)
+}
+
+// WarmLoad replays a journal's experience records into the in-memory base,
+// returning how many were loaded. Called when a store is attached so a
+// restarted process resumes with its predecessors' measurements.
+func WarmLoad(st *cache.Store) int {
+	if st == nil {
+		return 0
+	}
+	exps := st.Experiences()
+	for _, e := range exps {
+		learnedFor(e.Device, e.K).Observe(Sample{FV: e.FV, Best: e.Best})
+	}
+	return len(exps)
+}
+
+// Persist opens (or creates) the decision journal in dir and binds it to
+// the process-wide selection state: the decision cache warm-loads and
+// journals through it, and the experience base is re-baselined to the
+// journal's probe history (reset, then replayed — re-invoking Persist, or
+// switching directories, must not stack a second copy of every sample
+// into the k-NN vote). An empty dir resolves the default location
+// (SPMV_CACHE_DIR, then the user cache dir — see cache.Dir). Returns the
+// open store.
+func Persist(dir string) (*cache.Store, error) {
+	if dir != "" {
+		cache.SetDir(dir)
+	}
+	d, err := cache.Dir()
+	if err != nil {
+		return nil, err
+	}
+	st, err := cache.Open(d)
+	if err != nil {
+		return nil, err
+	}
+	// Attach the new store BEFORE closing the old: a concurrent Put must
+	// never land on an already-closed handle (its append would be dropped
+	// without error).
+	old := cache.Decisions.Store()
+	cache.Decisions.AttachStore(st)
+	if old != nil {
+		old.Close()
+	}
+	ResetLearned()
+	WarmLoad(st)
+	return st, nil
+}
+
+// Unpersist turns persistence back off: the journal detaches from the
+// process-wide decision cache (closing its file handle) and the directory
+// override clears. In-memory state — cached decisions, learned samples —
+// stays; only the disk binding goes. With SPMV_CACHE_DIR still set in the
+// environment, a later Persist (or env auto-attach, which fires at most
+// once per process) would re-enable it.
+func Unpersist() {
+	if st := cache.Decisions.Store(); st != nil {
+		cache.Decisions.AttachStore(nil)
+		st.Close()
+	}
+	cache.SetDir("")
+}
+
+// envAttachOnce arms the configuration opt-in: the first selection of a
+// process with a journal location chosen (SPMV_CACHE_DIR, or a
+// cache.SetDir override such as the CLIs' -cache-dir flag) attaches the
+// journal transparently, so servers and CLIs get persistence with zero
+// further code. Without a configured location (and without an explicit
+// Persist call) nothing touches disk.
+var envAttachOnce sync.Once
+
+func maybeAttachEnvJournal() {
+	envAttachOnce.Do(func() {
+		if !cache.Configured() {
+			return
+		}
+		if cache.Decisions.Store() != nil {
+			return
+		}
+		_, _ = Persist("") // best-effort: an unusable dir just disables persistence
+	})
+}

@@ -1,0 +1,193 @@
+package selector
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// TestPersistRoundTripZeroProbes is the satellite acceptance test: a full
+// save -> restart -> load cycle must reproduce identical decisions with
+// zero micro-probes. "Restart" is simulated with fresh DecisionCache and
+// Store instances over the same directory — exactly what a new process
+// does.
+func TestPersistRoundTripZeroProbes(t *testing.T) {
+	dir := t.TempDir()
+	mats := []*matrix.CSR{
+		genMatrix(t, 20000, 12, 10, 5),
+		genMatrix(t, 24000, 8, 200, 6),
+		genMatrix(t, 18000, 30, 0, 7),
+	}
+
+	// Cold process: probe-backed decisions, journaled.
+	st1, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc1 := cache.NewDecisionCache()
+	dc1.AttachStore(st1)
+	var cold []string
+	for _, m := range mats {
+		for _, k := range []int{1, 8} {
+			a, err := BuildAuto(m, AutoOptions{K: k, Probe: true, Cache: dc1, NoLearn: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Choice().Cached {
+				t.Fatal("cold build must not be a cache hit")
+			}
+			cold = append(cold, a.Chosen())
+		}
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm process: same directory, fresh in-memory state.
+	st2, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	dc2 := cache.NewDecisionCache()
+	if n := dc2.AttachStore(st2); n != len(cold) {
+		t.Fatalf("warm-loaded %d decisions, want %d", n, len(cold))
+	}
+	probesBefore := ProbeCount()
+	i := 0
+	for _, m := range mats {
+		for _, k := range []int{1, 8} {
+			a, err := BuildAuto(m, AutoOptions{K: k, Probe: true, Cache: dc2, NoLearn: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.Choice().Cached {
+				t.Errorf("matrix %d k=%d: warm build missed the persistent cache", i/2, k)
+			}
+			if a.Chosen() != cold[i] {
+				t.Errorf("matrix %d k=%d: warm decision %q != cold %q", i/2, k, a.Chosen(), cold[i])
+			}
+			i++
+		}
+	}
+	if got := ProbeCount() - probesBefore; got != 0 {
+		t.Errorf("warm restart ran %d micro-probes, want 0", got)
+	}
+}
+
+// TestLearnedExperiencePersists: probe outcomes recorded in one "process"
+// must warm-load into the experience base of the next.
+func TestLearnedExperiencePersists(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc1 := cache.NewDecisionCache()
+	dc1.AttachStore(st1)
+	m := genMatrix(t, 20000, 12, 10, 9)
+	a, err := BuildAuto(m, AutoOptions{K: 8, Probe: true, Cache: dc1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Choice().Probed {
+		t.Skip("probe skipped (matrix under probe floor); nothing to persist")
+	}
+	st1.Close()
+
+	st2, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	exps := st2.Experiences()
+	if len(exps) == 0 {
+		t.Fatal("probe outcome not journaled as experience")
+	}
+	last := exps[len(exps)-1]
+	if last.K != 8 || last.Best != a.Chosen() {
+		t.Errorf("journaled experience %+v, want winner %q at k=8", last, a.Chosen())
+	}
+	ResetLearned()
+	defer ResetLearned()
+	if n := WarmLoad(st2); n != len(exps) {
+		t.Fatalf("WarmLoad replayed %d, want %d", n, len(exps))
+	}
+	if LearnedLen(last.Device, 8) == 0 {
+		t.Error("experience base empty after warm-load")
+	}
+	// The warmed base steers a fresh (uncached, unprobed) decision on the
+	// same matrix to the measured winner.
+	fresh, err := BuildAuto(m, AutoOptions{K: 8, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Choice().Learned {
+		t.Error("learned experience did not steer the shortlist")
+	}
+	if fresh.Chosen() != a.Chosen() {
+		t.Errorf("learned pick %q != measured winner %q", fresh.Chosen(), a.Chosen())
+	}
+}
+
+// TestPersistReinvokeNoDuplicates: re-invoking Persist (config reload,
+// directory switch) must re-baseline the experience base to the journal,
+// not stack a second copy of every sample into the k-NN vote.
+func TestPersistReinvokeNoDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	prevDir := cache.SetDir("")
+	defer func() {
+		cache.SetDir(prevDir)
+		if st := cache.Decisions.Store(); st != nil {
+			cache.Decisions.AttachStore(nil)
+			st.Close()
+		}
+		ResetLearned()
+	}()
+	st, err := Persist(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AppendExperience(cache.Experience{Device: "host", K: 8, Best: "ELL"})
+	st.AppendExperience(cache.Experience{Device: "host", K: 8, Best: "ELL"})
+	if _, err := Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := LearnedLen("host", 8); got != 2 {
+		t.Fatalf("after re-Persist the base holds %d samples, want 2 (journal contents, not stacked copies)", got)
+	}
+}
+
+// TestObserveImprovesNearest pins the incremental-learning contract on
+// Nearest itself: observing a labeled point changes a nearby prediction.
+func TestObserveImprovesNearest(t *testing.T) {
+	n := NewOnline(3, 8)
+	fv := core.FeatureVector{Rows: 1000, Cols: 1000, NNZ: 10000,
+		MemFootprintMB: 0.5, AvgNNZPerRow: 10, SkewCoeff: 2, CrossRowSim: 0.5, AvgNumNeigh: 1}
+	if _, ok := n.Predict(fv); ok {
+		t.Fatal("empty online selector must not predict")
+	}
+	n.Observe(Sample{FV: fv, Best: "SELL-C-s"})
+	got, ok := n.PredictNear(fv, LearnMaxDist)
+	if !ok || got != "SELL-C-s" {
+		t.Fatalf("PredictNear after Observe = %q, %v", got, ok)
+	}
+	// A far-away point must not borrow the experience.
+	far := core.FeatureVector{Rows: 1, Cols: 1e6, NNZ: 5e6,
+		MemFootprintMB: 4000, AvgNNZPerRow: 5e6, SkewCoeff: 0, CrossRowSim: 0, AvgNumNeigh: 0}
+	if _, ok := n.PredictNear(far, LearnMaxDist); ok {
+		t.Error("PredictNear generalized past its distance gate")
+	}
+	// The window drops the oldest sample.
+	for i := 0; i < 8; i++ {
+		n.Observe(Sample{FV: far, Best: "COO"})
+	}
+	if n.Len() != 8 {
+		t.Errorf("window len = %d, want 8", n.Len())
+	}
+	if got, _ := n.PredictNear(far, LearnMaxDist); got != "COO" {
+		t.Errorf("windowed base predicts %q, want COO", got)
+	}
+}

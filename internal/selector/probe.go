@@ -57,6 +57,7 @@ func Probe(m *matrix.CSR, candidates []string, o ProbeOptions) (winner string, r
 // candidate at full cost, so the winner's built instance is returned for
 // the caller to use directly instead of rebuilding it.
 func probe(m *matrix.CSR, candidates []string, o ProbeOptions) (winner string, built formats.Format, results []ProbeResult) {
+	probeRuns.Add(1)
 	k := o.K
 	if k < 1 {
 		k = 1

@@ -19,6 +19,7 @@ package selector
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -97,11 +98,13 @@ func RulesK(spec device.Spec, fv core.FeatureVector, k int) string {
 	return spec.Formats[0]
 }
 
-// Shortlist ranks the device's formats for the k-regime by the model
-// estimate and returns the top-n feasible names, best first. The RulesK
-// pick is appended when the model ranking misses it, so the shortlist
-// always carries one entry from the interpretable decision list — cheap
-// insurance against a model blind spot when the shortlist is probed.
+// Shortlist ranks the device's formats for the k-regime by the model's
+// noise-free central estimate (device.Spec.RankMulti — the jittered
+// variant would scramble near-ties) and returns the top-n feasible names,
+// best first. The RulesK pick is appended when the model ranking misses
+// it, so the shortlist always carries one entry from the interpretable
+// decision list — cheap insurance against a model blind spot when the
+// shortlist is probed.
 func Shortlist(spec device.Spec, fv core.FeatureVector, k, n int) []string {
 	if n < 1 {
 		n = 1
@@ -112,7 +115,7 @@ func Shortlist(spec device.Spec, fv core.FeatureVector, k, n int) []string {
 	}
 	var cands []cand
 	for _, f := range spec.Formats {
-		r := spec.EstimateMulti(fv, f, k)
+		r := spec.RankMulti(fv, f, k)
 		if !r.Feasible {
 			continue
 		}
@@ -139,7 +142,7 @@ func Shortlist(spec device.Spec, fv core.FeatureVector, k, n int) []string {
 				found = true
 			}
 		}
-		if !found && spec.EstimateMulti(fv, ruled, k).Feasible {
+		if !found && spec.RankMulti(fv, ruled, k).Feasible {
 			out = append(out, ruled)
 		}
 	}
@@ -153,10 +156,14 @@ type Sample struct {
 }
 
 // Nearest is a k-nearest-neighbor format selector over the normalized
-// feature space.
+// feature space. It is safe for concurrent Predict/Observe: the online
+// selection path feeds probe outcomes in (Observe) while other goroutines
+// consult it.
 type Nearest struct {
+	mu      sync.RWMutex
 	k       int
 	samples []Sample
+	limit   int // Observe drops the oldest sample past this bound (0: unbounded)
 	dropped int
 }
 
@@ -193,7 +200,11 @@ func TrainK(spec device.Spec, points []core.FeatureVector, k, rhs int) *Nearest 
 
 // Dropped returns how many training points the device model could not
 // label (and were therefore excluded from the training set).
-func (n *Nearest) Dropped() int { return n.dropped }
+func (n *Nearest) Dropped() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.dropped
+}
 
 // TrainSamples builds the selector from pre-labeled samples (e.g. native
 // measurements).
@@ -204,14 +215,63 @@ func TrainSamples(samples []Sample, k int) *Nearest {
 	return &Nearest{k: k, samples: samples}
 }
 
+// NewOnline returns an empty selector meant to be fed incrementally via
+// Observe. limit bounds the sample window (oldest dropped first; 0 keeps
+// everything) so a long-running server's experience base stays a working
+// set instead of an unbounded history.
+func NewOnline(k, limit int) *Nearest {
+	if k <= 0 {
+		k = 5
+	}
+	return &Nearest{k: k, limit: limit}
+}
+
+// Observe adds one labeled point to the training set — the online-learning
+// hook: every measured probe winner lands here, so the k-NN ranking
+// sharpens with every decision the subsystem makes.
+func (n *Nearest) Observe(s Sample) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.samples = append(n.samples, s)
+	if n.limit > 0 && len(n.samples) > n.limit {
+		n.samples = n.samples[len(n.samples)-n.limit:]
+	}
+}
+
 // Len returns the training-set size.
-func (n *Nearest) Len() int { return len(n.samples) }
+func (n *Nearest) Len() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.samples)
+}
 
 // Predict returns the majority format among the k nearest training points,
 // with ties broken lexicographically. ok is false with no training data.
 func (n *Nearest) Predict(fv core.FeatureVector) (string, bool) {
-	if len(n.samples) == 0 {
+	name, _, ok := n.predict(fv)
+	return name, ok
+}
+
+// PredictNear is Predict gated by relevance: it answers only when the
+// nearest training point lies within maxDist in feature space. Experience
+// generalizes to matrices like the ones actually measured; far from any
+// sample, the caller should fall back to the analytical model instead of
+// extrapolating.
+func (n *Nearest) PredictNear(fv core.FeatureVector, maxDist float64) (string, bool) {
+	name, d, ok := n.predict(fv)
+	if !ok || d > maxDist {
 		return "", false
+	}
+	return name, true
+}
+
+// predict returns the k-NN majority vote and the distance to the single
+// nearest sample.
+func (n *Nearest) predict(fv core.FeatureVector) (string, float64, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if len(n.samples) == 0 {
+		return "", 0, false
 	}
 	type cand struct {
 		d    float64
@@ -241,7 +301,7 @@ func (n *Nearest) Predict(fv core.FeatureVector) (string, bool) {
 			best, bestVotes = name, v
 		}
 	}
-	return best, true
+	return best, cands[0].d, true
 }
 
 // Evaluation summarizes selector quality over a test set.

@@ -95,7 +95,7 @@ func Formats() []FormatBuilder { return formats.Registry() }
 // MultiplyMany computes Y = A*X for a block of k dense right-hand sides at
 // once (SpMM). X and Y are row-major: X holds k values per matrix column
 // (len cols*k) and Y k values per row (len rows*k). Hot formats (CSR
-// family, ELL, SELL-C-s, BCSR, DIA, COO) run fused register-tiled kernels
+// family, ELL, HYB, SELL-C-s, BCSR, DIA, COO) run fused register-tiled kernels
 // that stream the matrix once per tile of 4 vectors — every loaded nonzero
 // feeds k FMAs instead of one — on the same sharded execution engine as
 // the single-vector kernels; the remaining formats multiply one vector at
@@ -115,14 +115,38 @@ func SetVecWideRowMin(n int) int { return formats.SetVecWideRowMin(n) }
 // paper's feature analysis driving execution. The five-feature vector is
 // extracted, a k-regime-aware device model shortlists candidate formats
 // (k = 1 and k = 8 rank formats differently; set AutoOptions.K to the
-// workload's block width), an optional micro-probe times the shortlist on
-// a row-sampled sub-matrix through the execution engine, and the winner is
-// built. Decisions are cached by (matrix fingerprint, device, k, shards),
-// so rebuilding the same matrix under the same context is instant.
+// workload's block width), the online-learned experience base promotes
+// the measured winner of any similar matrix probed before, an optional
+// micro-probe times the shortlist on a row-sampled sub-matrix through the
+// execution engine, and the winner is built. Decisions are cached by
+// (matrix fingerprint, device, k, shards), so rebuilding the same matrix
+// under the same context is instant — and with persistence on (SetCacheDir
+// or SPMV_CACHE_DIR) decisions and probe outcomes survive restarts.
 //
 //	f, err := spmv.Auto(m, spmv.AutoOptions{K: 8, Probe: true})
 //	// f.Chosen() names the picked format; f is a regular Format.
 func Auto(m *Matrix, o AutoOptions) (*AutoFormat, error) { return selector.BuildAuto(m, o) }
+
+// SetCacheDir turns on the selection subsystem's persistence layer: the
+// decision cache and the probe-outcome experience base journal through an
+// append-only JSONL file in dir and warm-load from it immediately, so a
+// restarted process re-resolves every previously-seen (matrix, device, k,
+// shards) context without ranking or probing. An empty dir resolves the
+// default location — the SPMV_CACHE_DIR environment variable, then
+// <user cache dir>/go-spmv. Setting SPMV_CACHE_DIR alone enables the same
+// behavior with zero code changes; without either, nothing touches disk.
+// The journal is corruption-tolerant (bad lines are skipped) and is
+// invalidated wholesale when the schema version or host fingerprint
+// changes — see docs/ARCHITECTURE.md, "The persistence layer".
+func SetCacheDir(dir string) error {
+	_, err := selector.Persist(dir)
+	return err
+}
+
+// UnsetCacheDir turns persistence back off: the journal is detached and
+// closed and the directory override cleared. In-memory caches keep their
+// contents; nothing further touches disk.
+func UnsetCacheDir() { selector.Unpersist() }
 
 // FormatByName finds a format builder.
 func FormatByName(name string) (FormatBuilder, bool) { return formats.Lookup(name) }
