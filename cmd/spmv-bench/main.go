@@ -161,6 +161,13 @@ func main() {
 		fatalf("render shards: %v", err)
 	}
 	collected = append(collected, sr)
+	// As does the SIMD kernel dispatch table — kernel numbers are never
+	// read without knowing which kernels produced them.
+	dr := bench.DispatchReport()
+	if err := dr.Render(os.Stdout); err != nil {
+		fatalf("render dispatch: %v", err)
+	}
+	collected = append(collected, dr)
 	// So does the selection journal, when persistence is on: the state a
 	// restarted server would warm-load.
 	if cache.Configured() {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/matrix"
 	"repro/internal/selector"
+	"repro/internal/simd"
 )
 
 func main() {
@@ -84,6 +85,12 @@ func main() {
 		m = mm
 	}
 	fmt.Printf("matrix: %s\n", m)
+	if fs := simd.Features(); len(fs) > 0 {
+		fmt.Printf("simd: %s dispatch, %d float64 lanes (detected: %s; SPMV_NOSIMD=1 forces scalar)\n",
+			simd.Level(), simd.Width(), strings.Join(fs, " "))
+	} else {
+		fmt.Println("simd: scalar dispatch (no accelerated kernels for this CPU)")
+	}
 
 	engine := device.NativeEngine{Workers: *workers, Iterations: *iters}
 	run := func(b formats.Builder) {

@@ -132,6 +132,7 @@ func Experiments() []Experiment {
 		{"fig9", "Regularity evolution under fixed features (Fig 9)", RunFig9},
 		{"native", "Native-engine format comparison on this host", RunNative},
 		{"spmm", "Fused multi-vector SpMV (SpMM) vs sequential baseline", RunSpMM},
+		{"simd", "SIMD dispatch A/B: accelerated kernels vs scalar references", RunSIMD},
 		{"select", "Auto format selection vs exhaustive search (retained performance)", RunSelect},
 	}
 }

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package cache
+
+import (
+	"errors"
+	"os"
+)
+
+// No flock outside unix: locking degrades to the documented best-effort
+// last-writer-wins behavior.
+func flockExclusive(*os.File) error { return errors.ErrUnsupported }
+
+func flockUnlock(*os.File) {}

@@ -1,0 +1,16 @@
+//go:build unix
+
+package cache
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a blocking exclusive flock on the sidecar lock
+// file. flock is advisory and per-open-file-description, which is exactly
+// the contract the journal needs: cooperating spmv processes serialize,
+// everything else is unaffected.
+func flockExclusive(f *os.File) error { return syscall.Flock(int(f.Fd()), syscall.LOCK_EX) }
+
+func flockUnlock(f *os.File) { _ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN) }

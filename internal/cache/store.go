@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/simd"
 )
 
 const (
@@ -45,6 +46,10 @@ const (
 
 	// journalName is the journal file inside the cache directory.
 	journalName = "decisions.jsonl"
+
+	// lockName is the sidecar flock file serializing cross-process journal
+	// mutation (appends and compactions) among cooperating spmv processes.
+	lockName = "decisions.lock"
 
 	// maxJournalExperiences bounds how many experience records Load keeps
 	// (most recent win): the online selector needs a working set, not an
@@ -147,10 +152,14 @@ func Dir() (string, error) {
 // belong to — including the usable parallelism (GOMAXPROCS), because the
 // host device model and every micro-probe run at that width: a decision
 // probed under 2 workers is not evidence about a 32-worker process even
-// on the same chip. Decisions made in one context are not evidence about
-// another, so a fingerprint mismatch invalidates the journal.
+// on the same chip. The active SIMD dispatch level is part of the context
+// too: probe outcomes measured with AVX2 kernels are not evidence for a
+// scalar-forced (SPMV_NOSIMD) process, whose format ranking can differ.
+// Decisions made in one context are not evidence about another, so a
+// fingerprint mismatch invalidates the journal.
 func HostFingerprint() string {
-	return fmt.Sprintf("%s/%s/cpu%d/p%d", runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	return fmt.Sprintf("%s/%s/cpu%d/p%d/%s", runtime.GOOS, runtime.GOARCH,
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), simd.Level())
 }
 
 // Experience is one probe outcome: the feature vector of a matrix whose
@@ -201,17 +210,23 @@ type StoreStats struct {
 // Store is an open journal: decisions and experiences loaded at Open time
 // plus an append handle for everything learned afterwards. A Store is safe
 // for concurrent use within one process. Cross-process sharing is
-// best-effort: O_APPEND keeps individual line writes intact (each record
-// is one write call well under the pipe-atomicity bound), but a
-// compaction by one process rewrites the file from its own state — lines
-// another live process appended since its Open are dropped, and that
-// process's handle keeps writing to the unlinked inode until its next
-// Open. Give concurrent writers separate directories, or accept
-// last-compactor-wins; proper file locking is a ROADMAP follow-up.
+// best-effort, two layers deep: O_APPEND keeps individual line writes
+// intact (each record is one write call well under the pipe-atomicity
+// bound), and an advisory flock on a sidecar lock file serializes loads,
+// appends and compactions among cooperating processes — with an inode
+// check before every append re-targeting the handle after another process
+// compacted (renamed over) the journal, so post-compaction appends land in
+// the live file instead of the unlinked inode. A compaction still rewrites
+// from the compactor's own state: lines another process appended between
+// that compactor's Open and its rewrite are dropped (their in-memory copy
+// survives; its next process re-journals what it re-measures). On
+// filesystems without flock the lock degrades to a no-op and only the
+// O_APPEND guarantee remains.
 type Store struct {
 	mu   sync.Mutex
 	path string
 	f    *os.File
+	lock *os.File // sidecar flock handle; nil when unavailable
 
 	decisions   map[DecisionKey]Decision
 	order       []DecisionKey // journal order of decisions (oldest first)
@@ -240,6 +255,12 @@ func Open(dir string) (*Store, error) {
 		path:      path,
 		decisions: make(map[DecisionKey]Decision),
 	}
+	// Best-effort cross-process lock: held across the load and the initial
+	// header/compaction so Open never reads a half-compacted journal from a
+	// concurrent process. An unopenable lock file just disables locking.
+	s.lock, _ = os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	unlock := s.flock()
+	defer unlock()
 	s.load(path)
 
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -441,10 +462,45 @@ func (s *Store) appendLocked(r record) {
 		return
 	}
 	b = append(b, '\n')
+	unlock := s.flock()
+	defer unlock()
+	s.refreshHandleLocked()
 	if _, err := s.f.Write(b); err == nil {
 		if r.Kind != "header" {
 			s.appended++
 		}
+	}
+}
+
+// flock takes the cross-process journal lock (blocking, best-effort) and
+// returns its release func. flock on an already-held descriptor is a
+// harmless no-op conversion, so nested acquisitions (Open's header write,
+// AppendExperience's auto-compaction) are safe — the inner release just
+// drops the lock a little early. Callers hold s.mu.
+func (s *Store) flock() func() {
+	if s.lock == nil || flockExclusive(s.lock) != nil {
+		return func() {}
+	}
+	return func() { flockUnlock(s.lock) }
+}
+
+// refreshHandleLocked re-targets the append handle after another process
+// compacted the journal: a rename-over leaves this handle on the unlinked
+// inode, where appends would vanish. Comparing the path's inode with the
+// handle's (os.SameFile) detects that and reopens. Callers hold s.mu and
+// the cross-process lock.
+func (s *Store) refreshHandleLocked() {
+	pi, err := os.Stat(s.path)
+	if err != nil {
+		return
+	}
+	fi, err := s.f.Stat()
+	if err == nil && os.SameFile(pi, fi) {
+		return
+	}
+	if nf, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+		s.f.Close()
+		s.f = nf
 	}
 }
 
@@ -459,6 +515,8 @@ func (s *Store) Compact() error {
 }
 
 func (s *Store) compactLocked() error {
+	unlock := s.flock()
+	defer unlock()
 	tmp, err := os.CreateTemp(filepath.Dir(s.path), journalName+".tmp*")
 	if err != nil {
 		return err
@@ -550,6 +608,10 @@ func (s *Store) Path() string { return s.path }
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.lock != nil {
+		s.lock.Close() // releases any held flock with the descriptor
+		s.lock = nil
+	}
 	if s.f == nil {
 		return nil
 	}

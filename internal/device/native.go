@@ -9,6 +9,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/formats"
 	"repro/internal/matrix"
+	"repro/internal/simd"
 )
 
 // NativeResult reports a measured (not modeled) SpMV run on the host CPU.
@@ -101,11 +102,18 @@ func HostSpec() Spec {
 	units := runtime.GOMAXPROCS(0)
 	memBW := math.Min(20, 12*float64(units))
 	llcBW := math.Min(200, 50*float64(units))
+	// The modeled SIMD width is whatever the dispatch layer actually
+	// detected and enabled — a scalar-forced host (SPMV_NOSIMD) is modeled
+	// at one lane, not at a peak its kernels cannot reach.
+	lanes := simd.Width()
+	if lanes < 1 {
+		lanes = 1
+	}
 	return Spec{
 		Name:      "host",
 		Class:     CPU,
 		Units:     units,
-		LanesPerU: 4,
+		LanesPerU: lanes,
 		FreqGHz:   2.5,
 		LLCBytes:  32 << 20,
 		MemBWGBs:  memBW, LLCBWGBs: llcBW,

@@ -6,6 +6,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/simd"
 )
 
 // BCSR is blocked CSR with fixed br x bc dense blocks (an extension from
@@ -210,9 +211,25 @@ func (f *BCSR) blockRowRange(x, y []float64, lo, hi int) {
 func (f *BCSR) blockRowRange2x2(x, y []float64, lo, hi int) {
 	rowPtr, blkCol, val := f.rowPtr, f.blkCol, f.val
 	cols := f.cols
+	useSIMD := simd.Enabled()
 	for bi := lo; bi < hi; bi++ {
 		var s0, s1 float64
-		for b := int(rowPtr[bi]); b < int(rowPtr[bi+1]); b++ {
+		b := int(rowPtr[bi])
+		bEnd := int(rowPtr[bi+1])
+		if useSIMD {
+			// Dispatched path over the interior blocks. Block columns are
+			// sorted ascending, so a matrix-edge block (x window past cols)
+			// can only be the last one; it stays on the scalar loop below.
+			nb := bEnd - b
+			if nb > 0 && int(blkCol[bEnd-1])*2+2 > cols {
+				nb--
+			}
+			if nb >= simdMinN {
+				s0, s1 = simd.Bcsr2x2(val[b*4:], blkCol[b:], x, nb)
+				b += nb
+			}
+		}
+		for ; b < bEnd; b++ {
 			baseCol := int(blkCol[b]) * 2
 			off := b * 4
 			if baseCol+2 <= cols {
@@ -242,13 +259,29 @@ func (f *BCSR) blockRowRange2x2(x, y []float64, lo, hi int) {
 func (f *BCSR) blockRowRangeMulti2x2(x, y []float64, k, lo, hi int) {
 	rowPtr, blkCol, val := f.rowPtr, f.blkCol, f.val
 	cols := f.cols
+	useSIMD := simd.Enabled()
 	for bi := lo; bi < hi; bi++ {
 		row := bi * 2
+		bLo, bEnd := int(rowPtr[bi]), int(rowPtr[bi+1])
+		// As in the single-vector kernel, only the last (sorted) block of a
+		// block row can overhang the matrix edge; the dispatched tile kernel
+		// covers the interior prefix and the scalar loop finishes the edge.
+		nInterior := bEnd - bLo
+		if useSIMD && nInterior > 0 && int(blkCol[bEnd-1])*2+2 > cols {
+			nInterior--
+		}
 		t := 0
 		for ; t+multiTile <= k; t += multiTile {
 			var s00, s01, s02, s03 float64
 			var s10, s11, s12, s13 float64
-			for b := int(rowPtr[bi]); b < int(rowPtr[bi+1]); b++ {
+			bStart := bLo
+			if useSIMD && nInterior >= simdMinN {
+				dLo, dHi := simd.Bcsr2x2Tile(val[bLo*4:], blkCol[bLo:], x[t:], nInterior, k)
+				s00, s01, s02, s03 = dLo[0], dLo[1], dLo[2], dLo[3]
+				s10, s11, s12, s13 = dHi[0], dHi[1], dHi[2], dHi[3]
+				bStart = bLo + nInterior
+			}
+			for b := bStart; b < bEnd; b++ {
 				baseCol := int(blkCol[b]) * 2
 				off := b * 4
 				v0, v1, v2, v3 := val[off], val[off+1], val[off+2], val[off+3]

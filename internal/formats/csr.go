@@ -8,6 +8,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/simd"
 )
 
 // CSR is the naive compressed-sparse-row format with row-block parallelism,
@@ -230,6 +231,30 @@ func SetVecWideRowMin(n int) int {
 // the unroll entirely, and capped sub-slices drop the val/colIdx bounds
 // checks like the scalar kernel.
 func vecCSRRowRange(rowPtr, colIdx []int32, val, x, y []float64, lo, hi int) {
+	if simd.Enabled() {
+		// Dispatched path: the gather+FMA row dot-product. Like the wide
+		// scalar path it reassociates the per-row sum (8 partial sums), a
+		// tolerance Vec-CSR's contract already grants. Rows below the
+		// dispatch cutoff keep an inlined sequential sum.
+		end := int(rowPtr[lo])
+		for i := lo; i < hi; i++ {
+			start := end
+			end = int(rowPtr[i+1])
+			if end-start >= simdMinN {
+				y[i] = simd.DotGather(val[start:end], colIdx[start:end], x)
+				continue
+			}
+			c := colIdx[start:end:end]
+			v := val[start:end:end]
+			v = v[:len(c)]
+			var s float64
+			for j, cj := range c {
+				s += v[j] * x[cj]
+			}
+			y[i] = s
+		}
+		return
+	}
 	wideMin := VecWideRowMin()
 	end := int(rowPtr[lo])
 	for i := lo; i < hi; i++ {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/simd"
 )
 
 // ELL stores the matrix as dense rows x width column-major arrays, padding
@@ -105,6 +106,15 @@ func (f *ELL) rowRange(x, y []float64, lo, hi int) {
 	for j := range yy {
 		yy[j] = 0
 	}
+	if simd.Enabled() {
+		// Dispatched path: one vectorized axpy-gather per slab column —
+		// same column order, one mul-then-add per element, bit-identical.
+		for k := 0; k < f.width; k++ {
+			base := k * rows
+			simd.AxpyGather(yy, f.val[base+lo:base+hi], f.colIdx[base+lo:base+hi], x)
+		}
+		return
+	}
 	for k := 0; k < f.width; k++ {
 		base := k * rows
 		c := f.colIdx[base+lo : base+hi : base+hi]
@@ -165,10 +175,20 @@ func (f *ELL) evenRowPlan(g *exec.Grant) *exec.Plan {
 func (f *ELL) rowRangeMulti(x, y []float64, k, lo, hi int) {
 	rows := f.rows
 	colIdx, val, rowLen := f.colIdx, f.val, f.rowLen
+	useSIMD := simd.Enabled()
 	for i := lo; i < hi; i++ {
 		wi := int(rowLen[i])
 		yi := y[i*k : i*k+k : i*k+k]
 		t := 0
+		if useSIMD && wi >= simdMinN {
+			// Dispatched path: broadcast-tile over the strided slab row.
+			// Per tile vector a sequential mul-then-add sum in ascending
+			// column order — bit-identical.
+			for ; t+multiTile <= k; t += multiTile {
+				d := simd.DotBcastTile(val[i:], colIdx[i:], x[t:], rows, wi, k)
+				yi[t], yi[t+1], yi[t+2], yi[t+3] = d[0], d[1], d[2], d[3]
+			}
+		}
 		for ; t+multiTile <= k; t += multiTile {
 			var s0, s1, s2, s3 float64
 			at := i

@@ -145,7 +145,7 @@ func sellPadding(skew float64, rows int) float64 {
 	if rows <= 0 {
 		return 0.05
 	}
-	chunkShare := float64(DefaultChunk) / float64(rows)
+	chunkShare := float64(DefaultChunkC()) / float64(rows)
 	if chunkShare > 1 {
 		chunkShare = 1
 	}

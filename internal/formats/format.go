@@ -132,7 +132,7 @@ func Registry() []Builder {
 		{"HYB", func(m *matrix.CSR) (Format, error) { return NewHYB(m) }},
 		{"CSR5", func(m *matrix.CSR) (Format, error) { return NewCSR5(m) }},
 		{"Merge-CSR", func(m *matrix.CSR) (Format, error) { return NewMergeCSR(m), nil }},
-		{"SELL-C-s", func(m *matrix.CSR) (Format, error) { return NewSELLCS(m, DefaultChunk, DefaultSigma) }},
+		{"SELL-C-s", func(m *matrix.CSR) (Format, error) { return NewSELLCS(m, DefaultChunkC(), DefaultSigma) }},
 		{"SparseX", func(m *matrix.CSR) (Format, error) { return NewSPX(m), nil }},
 		{"VSL", func(m *matrix.CSR) (Format, error) { return NewVSL(m, DefaultVSLConfig()) }},
 		{"DIA", func(m *matrix.CSR) (Format, error) { return NewDIA(m) }},

@@ -24,11 +24,19 @@ import (
 	"fmt"
 
 	"repro/internal/exec"
+	"repro/internal/simd"
 )
 
 // multiTile is the register-tile width of the fused kernels: k is unrolled
 // in blocks of this many vectors.
 const multiTile = 4
+
+// simdMinN is the minimum inner-loop trip count at which the dispatched
+// micro-kernels (internal/simd) beat the inlined scalar loops. Below it —
+// tridiagonal-style rows, near-empty chunks — the indirect call and gather
+// setup cost more than the vector width saves, so call sites keep the
+// scalar path regardless of dispatch state.
+const simdMinN = 8
 
 // checkShapeMulti panics on MultiplyMany shape mismatches; like checkShape,
 // calling with wrong block shapes is a programmer error.
@@ -69,6 +77,7 @@ func multiplyManyByColumn(f Format, y, x []float64, k int) {
 // feeds 4 FMAs; the 1-3 vector tail reruns the stream with a narrower
 // accumulator set.
 func csrRowRangeMulti(rowPtr, colIdx []int32, val, x, y []float64, k, lo, hi int) {
+	useSIMD := simd.Enabled()
 	for i := lo; i < hi; i++ {
 		start := int(rowPtr[i])
 		end := int(rowPtr[i+1])
@@ -77,6 +86,14 @@ func csrRowRangeMulti(rowPtr, colIdx []int32, val, x, y []float64, k, lo, hi int
 		v = v[:len(c)]
 		yi := y[i*k : i*k+k : i*k+k]
 		t := 0
+		if useSIMD && len(c) >= simdMinN {
+			// Dispatched path: broadcast-tile over the row's entry stream
+			// (stride 1) — bit-identical per tile vector.
+			for ; t+multiTile <= k; t += multiTile {
+				d := simd.DotBcastTile(v, c, x[t:], 1, len(c), k)
+				yi[t], yi[t+1], yi[t+2], yi[t+3] = d[0], d[1], d[2], d[3]
+			}
+		}
 		for ; t+multiTile <= k; t += multiTile {
 			var s0, s1, s2, s3 float64
 			for j, cj := range c {

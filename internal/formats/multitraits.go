@@ -166,8 +166,9 @@ func ellMultiTraits(fv core.FeatureVector, k int, base Traits) Traits {
 func sellMultiTraits(fv core.FeatureVector, k int, base Traits) Traits {
 	avg, skew := clampedRowShape(fv)
 	slabPerRow := 12 * (1 + base.PaddingRatio) // chunk slab bytes per stored entry
-	bulk := lineWaste(DefaultChunk * avg * slabPerRow)
-	heavy := lineWaste(DefaultChunk * avg * (1 + skew) * slabPerRow)
+	c := float64(DefaultChunkC())              // the chunk the registry actually builds
+	bulk := lineWaste(c * avg * slabPerRow)
+	heavy := lineWaste(c * avg * (1 + skew) * slabPerRow)
 	hs := heavyRowShare(fv, avg, skew)
 	waste := (1-hs)*bulk + hs*heavy
 	tr := base

@@ -7,6 +7,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/simd"
 )
 
 // SELLCS is the SELL-C-sigma format (Kreutzer et al., SISC 2014): rows are
@@ -31,6 +32,19 @@ const (
 	DefaultChunk = 8
 	DefaultSigma = 256
 )
+
+// DefaultChunkC returns the chunk size matched to the active SIMD
+// dispatch: the detected hardware vector width when accelerated kernels
+// are live (chunk lanes then map 1:1 onto SIMD lanes and the slab loads
+// are exactly one vector wide), DefaultChunk otherwise. SELL-C-sigma was
+// designed around C = vector width (Kreutzer et al.); the Registry builds
+// "SELL-C-s" through this.
+func DefaultChunkC() int {
+	if w := simd.Width(); w >= 4 {
+		return w
+	}
+	return DefaultChunk
+}
 
 // NewSELLCS builds SELL-C-sigma with chunk size c and sorting scope sigma.
 func NewSELLCS(m *matrix.CSR, c, sigma int) (*SELLCS, error) {
@@ -148,6 +162,7 @@ func (f *SELLCS) chunkRange(x, y []float64, chLo, chHi int) {
 		sums = make([]float64, c)
 	}
 	val, colIdx := f.val, f.colIdx
+	useSIMD := simd.Enabled() && c%4 == 0
 	for ch := chLo; ch < chHi; ch++ {
 		base := f.chunkPtr[ch]
 		width := int(f.chunkLen[ch])
@@ -158,9 +173,19 @@ func (f *SELLCS) chunkRange(x, y []float64, chLo, chHi int) {
 		cs := colIdx[base : base+slab : base+slab]
 		vs := val[base : base+slab : base+slab]
 		vs = vs[:len(cs)]
-		for k := 0; k < len(cs); k += c {
-			for lane := 0; lane < c; lane++ {
-				sums[lane] += vs[k+lane] * x[cs[k+lane]]
+		if useSIMD && width >= simdMinN {
+			// Dispatched path: each 4-lane group sweeps the chunk slab with
+			// stride c. Per lane a sequential sum in ascending column order
+			// — bit-identical to the scalar lane loop.
+			for lg := 0; lg+4 <= c; lg += 4 {
+				r := simd.LaneDot4(vs[lg:], cs[lg:], x, c, width)
+				sums[lg], sums[lg+1], sums[lg+2], sums[lg+3] = r[0], r[1], r[2], r[3]
+			}
+		} else {
+			for k := 0; k < len(cs); k += c {
+				for lane := 0; lane < c; lane++ {
+					sums[lane] += vs[k+lane] * x[cs[k+lane]]
+				}
 			}
 		}
 		for lane := 0; lane < c; lane++ {
@@ -220,6 +245,7 @@ func (f *SELLCS) chunkPlan(g *exec.Grant) *exec.Plan {
 func (f *SELLCS) chunkRangeMulti(x, y []float64, k, chLo, chHi int) {
 	c := f.c
 	val, colIdx, rows := f.val, f.colIdx, f.rows
+	useSIMD := simd.Enabled()
 	for ch := chLo; ch < chHi; ch++ {
 		base := f.chunkPtr[ch]
 		width := int(f.chunkLen[ch])
@@ -235,6 +261,14 @@ func (f *SELLCS) chunkRangeMulti(x, y []float64, k, chLo, chHi int) {
 			row := int(f.perm[s])
 			yb := y[row*k : row*k+k : row*k+k]
 			t := 0
+			if useSIMD && width >= simdMinN {
+				// Dispatched path: broadcast-tile over the lane's strided
+				// slab walk — bit-identical per tile vector.
+				for ; t+multiTile <= k; t += multiTile {
+					d := simd.DotBcastTile(vs[lane:], cs[lane:], x[t:], c, width, k)
+					yb[t], yb[t+1], yb[t+2], yb[t+3] = d[0], d[1], d[2], d[3]
+				}
+			}
 			for ; t+multiTile <= k; t += multiTile {
 				var s0, s1, s2, s3 float64
 				for kk := lane; kk < len(cs); kk += c {

@@ -1,0 +1,129 @@
+package formats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+	"repro/internal/simd"
+)
+
+// SIMD vs scalar dispatch equivalence: every registry format must produce
+// the same product under both dispatch modes, on the same built format
+// (only the kernel path toggles, never the layout).
+//
+// The accumulation-order contract (internal/simd): the ELL, SELL-C-s,
+// BCSR and every fused multi kernel preserve the scalar accumulation
+// order per output element, so their two modes must match BIT FOR BIT.
+// Only the Vec-CSR row dot-product (and MKL-IE, which adopts the
+// vectorized row kernel) runs the reassociating gather+FMA kernel, and
+// Vec-CSR's scalar path already reassociates into 4/8 partial sums — those
+// two get a small relative tolerance instead.
+
+// reassocFormats are the formats allowed the relative tolerance.
+var reassocFormats = map[string]bool{"Vec-CSR": true, "MKL-IE": true}
+
+// simdEquivMatrices: a skewed general matrix (exercises gather tails,
+// SELL chunk variation, HYB spill), and an odd-dimension banded one (BCSR
+// edge blocks past the column bound, DIA-friendly structure).
+func simdEquivMatrices(t *testing.T) map[string]*matrix.CSR {
+	t.Helper()
+	skewed, err := gen.Generate(gen.Params{
+		Rows: 2000, Cols: 2000, AvgNNZPerRow: 14, StdNNZPerRow: 5,
+		SkewCoeff: 10, BWScaled: 0.4, CrossRowSim: 0.4, AvgNumNeigh: 1.2, Seed: 77,
+	})
+	if err != nil {
+		t.Fatalf("generate skewed: %v", err)
+	}
+	banded, err := gen.Generate(gen.Params{
+		Rows: 1997, Cols: 1997, AvgNNZPerRow: 9, StdNNZPerRow: 2,
+		SkewCoeff: 1, BWScaled: 0.02, CrossRowSim: 0.8, AvgNumNeigh: 1.8, Seed: 78,
+	})
+	if err != nil {
+		t.Fatalf("generate banded: %v", err)
+	}
+	return map[string]*matrix.CSR{"skewed": skewed, "banded": banded}
+}
+
+func equalOrClose(name string, got, want []float64) (int, bool) {
+	for i := range got {
+		if got[i] == want[i] {
+			continue
+		}
+		if !reassocFormats[name] {
+			return i, false
+		}
+		diff := math.Abs(got[i] - want[i])
+		scale := math.Max(math.Abs(got[i]), math.Abs(want[i]))
+		if diff > 1e-12*scale {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// TestSIMDScalarEquivalence runs every format's single-vector kernels
+// (serial and parallel) under both dispatch modes and compares.
+func TestSIMDScalarEquivalence(t *testing.T) {
+	if !simd.Available() {
+		t.Skip("no accelerated kernels on this host")
+	}
+	prev := simd.SetEnabled(true)
+	defer simd.SetEnabled(prev)
+	for mname, m := range simdEquivMatrices(t) {
+		x := matrix.RandomVector(m.Cols, 4242)
+		for _, b := range Registry() {
+			f, err := b.Build(m)
+			if err != nil {
+				continue // hostile structure for this format; covered elsewhere
+			}
+			ys := make([]float64, m.Rows)
+			yv := make([]float64, m.Rows)
+			for _, workers := range []int{1, 3} {
+				simd.SetEnabled(true)
+				f.SpMVParallel(x, yv, workers)
+				simd.SetEnabled(false)
+				f.SpMVParallel(x, ys, workers)
+				simd.SetEnabled(true)
+				if i, ok := equalOrClose(b.Name, yv, ys); !ok {
+					t.Errorf("%s/%s workers=%d: y[%d] simd=%v scalar=%v",
+						mname, b.Name, workers, i, yv[i], ys[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSIMDScalarEquivalenceMulti does the same for the k-wide fused
+// kernels across the register-tile widths the dispatch layer tiles by.
+func TestSIMDScalarEquivalenceMulti(t *testing.T) {
+	if !simd.Available() {
+		t.Skip("no accelerated kernels on this host")
+	}
+	prev := simd.SetEnabled(true)
+	defer simd.SetEnabled(prev)
+	for mname, m := range simdEquivMatrices(t) {
+		for _, b := range Registry() {
+			f, err := b.Build(m)
+			if err != nil {
+				continue
+			}
+			for _, k := range []int{1, 4, 8} {
+				x := matrix.RandomVector(m.Cols*k, 97)
+				yv := make([]float64, m.Rows*k)
+				ys := make([]float64, m.Rows*k)
+				simd.SetEnabled(true)
+				f.MultiplyMany(yv, x, k)
+				simd.SetEnabled(false)
+				f.MultiplyMany(ys, x, k)
+				simd.SetEnabled(true)
+				if i, ok := equalOrClose(b.Name, yv, ys); !ok {
+					t.Errorf("%s/%s k=%d: y[%d] simd=%v scalar=%v",
+						mname, b.Name, k, i, yv[i], ys[i])
+				}
+			}
+		}
+	}
+}

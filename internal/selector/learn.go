@@ -10,6 +10,7 @@ package selector
 // measured.
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -101,16 +102,29 @@ func learnedPick(device string, k int, fv core.FeatureVector) (string, bool) {
 	return n.PredictNear(fv, LearnMaxDist)
 }
 
+// experienceHalfLife is the age (in journal records) at which a replayed
+// experience sample's vote weight halves. The journal is append-only, so
+// record order IS measurement order: a winner measured 256 probes ago —
+// possibly under different load, thermals, or a since-changed kernel —
+// still votes, but two fresh confirmations outvote it.
+const experienceHalfLife = 256
+
 // WarmLoad replays a journal's experience records into the in-memory base,
 // returning how many were loaded. Called when a store is attached so a
-// restarted process resumes with its predecessors' measurements.
+// restarted process resumes with its predecessors' measurements. Replayed
+// samples are age-decayed: the newest record enters at full weight and
+// each experienceHalfLife records of age halve the vote, so stale history
+// biases — not dictates — future shortlists.
 func WarmLoad(st *cache.Store) int {
 	if st == nil {
 		return 0
 	}
 	exps := st.Experiences()
-	for _, e := range exps {
-		learnedFor(e.Device, e.K).Observe(Sample{FV: e.FV, Best: e.Best})
+	last := len(exps) - 1
+	for i, e := range exps {
+		age := float64(last - i)
+		w := math.Exp2(-age / experienceHalfLife)
+		learnedFor(e.Device, e.K).Observe(Sample{FV: e.FV, Best: e.Best, Weight: w})
 	}
 	return len(exps)
 }

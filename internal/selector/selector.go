@@ -149,10 +149,14 @@ func Shortlist(spec device.Spec, fv core.FeatureVector, k, n int) []string {
 	return out
 }
 
-// Sample is one labeled training point.
+// Sample is one labeled training point. Weight scales its vote in the
+// k-NN majority (<= 0 means 1): the warm-load path ages journal replays so
+// a stale measured winner cannot outvote fresh evidence forever, while
+// live Observe calls enter at full weight.
 type Sample struct {
-	FV   core.FeatureVector
-	Best string
+	FV     core.FeatureVector
+	Best   string
+	Weight float64
 }
 
 // Nearest is a k-nearest-neighbor format selector over the normalized
@@ -276,10 +280,15 @@ func (n *Nearest) predict(fv core.FeatureVector) (string, float64, bool) {
 	type cand struct {
 		d    float64
 		name string
+		w    float64
 	}
 	cands := make([]cand, len(n.samples))
 	for i, s := range n.samples {
-		cands[i] = cand{core.Distance(fv, s.FV), s.Best}
+		w := s.Weight
+		if w <= 0 {
+			w = 1
+		}
+		cands[i] = cand{core.Distance(fv, s.FV), s.Best, w}
 	}
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].d != cands[b].d {
@@ -291,11 +300,11 @@ func (n *Nearest) predict(fv core.FeatureVector) (string, float64, bool) {
 	if k > len(cands) {
 		k = len(cands)
 	}
-	votes := map[string]int{}
+	votes := map[string]float64{}
 	for _, c := range cands[:k] {
-		votes[c.name]++
+		votes[c.name] += c.w
 	}
-	best, bestVotes := "", -1
+	best, bestVotes := "", -1.0
 	for name, v := range votes {
 		if v > bestVotes || (v == bestVotes && name < best) {
 			best, bestVotes = name, v

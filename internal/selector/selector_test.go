@@ -95,8 +95,8 @@ func TestNearestEmptyAndTies(t *testing.T) {
 		t.Error("empty selector should report not-ok")
 	}
 	tied := TrainSamples([]Sample{
-		{core.FeatureVector{MemFootprintMB: 1}, "B"},
-		{core.FeatureVector{MemFootprintMB: 2}, "A"},
+		{FV: core.FeatureVector{MemFootprintMB: 1}, Best: "B"},
+		{FV: core.FeatureVector{MemFootprintMB: 2}, Best: "A"},
 	}, 2)
 	name, ok := tied.Predict(core.FeatureVector{MemFootprintMB: 1.5})
 	if !ok || name != "A" {

@@ -1,0 +1,72 @@
+package simd
+
+// Runtime CPU-feature detection via CPUID/XGETBV. golang.org/x/sys/cpu
+// would do the same probing, but the repo carries no dependencies; the two
+// instructions below are all the surface we need.
+
+// cpuid executes CPUID with the given leaf/subleaf (detect_amd64.s).
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0, the OS-enabled extended-state mask (requires the
+// OSXSAVE CPUID bit, which the caller checks first).
+func xgetbv() (eax, edx uint32)
+
+func detect() {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		bitFMA     = 1 << 12
+		bitOSXSAVE = 1 << 27
+		bitAVX     = 1 << 28
+	)
+	hasAVX := ecx1&bitAVX != 0
+	hasFMA := ecx1&bitFMA != 0
+	// AVX registers are usable only when the OS saves/restores YMM state:
+	// XCR0 bits 1 (SSE) and 2 (YMM). AVX-512 additionally needs bits 5-7
+	// (opmask, ZMM-low, ZMM-high).
+	ymmOS, zmmOS := false, false
+	if ecx1&bitOSXSAVE != 0 {
+		xcr0, _ := xgetbv()
+		ymmOS = xcr0&0x06 == 0x06
+		zmmOS = ymmOS && xcr0&0xe0 == 0xe0
+	}
+	var avx2, avx512f bool
+	if maxID >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		avx2 = ebx7&(1<<5) != 0
+		avx512f = ebx7&(1<<16) != 0
+	}
+	if hasAVX && ymmOS {
+		features = append(features, "avx")
+	}
+	if hasFMA {
+		features = append(features, "fma")
+	}
+	if avx2 && ymmOS {
+		features = append(features, "avx2")
+	}
+	if avx512f && zmmOS {
+		features = append(features, "avx512f")
+	}
+	if hasAVX && avx2 && hasFMA && ymmOS {
+		installAVX2()
+		hasAccel = true
+		level = "avx2"
+		width = 4
+	}
+}
+
+// installAVX2 points the dispatch table at the assembly kernels. Installed
+// once, before init returns; never swapped afterwards (the kill switch
+// gates callers, not the table).
+func installAVX2() {
+	dotGather = dotGatherAVX2
+	axpyGather = axpyGatherAVX2
+	laneDot4 = laneDot4AVX2
+	bcsr2x2 = bcsr2x2AVX2
+	dotBcastTile = dotBcastTileAVX2
+	bcsr2x2Tile = bcsr2x2TileAVX2
+}

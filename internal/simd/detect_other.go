@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package simd
+
+// detect is a no-op off amd64: the dispatch table keeps the portable
+// scalar references and the package stays in "scalar" mode. Adding a new
+// ISA (e.g. NEON) means an arch-specific detect that probes the CPU and
+// installs its kernels, exactly like detect_amd64.go.
+func detect() {}

@@ -1,0 +1,271 @@
+// Package simd provides vectorized micro-kernels for the hottest SpMV
+// inner loops — the CSR row dot-product, the ELL/SELL-C-sigma slab sweeps,
+// the BCSR 2x2 tile, and the k-wide broadcast tile of the fused SpMM
+// kernels — with runtime CPU-feature detection and per-kernel
+// function-pointer dispatch.
+//
+// # Dispatch
+//
+// At init the package probes the CPU (CPUID/XGETBV on amd64) and installs
+// the widest kernel implementation the hardware and OS support into a
+// function-pointer table; everything else keeps the portable scalar
+// reference path that lives in the format kernels themselves. The format
+// packages consult Enabled() once per kernel invocation and branch to
+// either the dispatched kernels here or their original scalar loops, so a
+// disabled dispatch pays zero indirection.
+//
+// # Kill switch
+//
+// Setting SPMV_NOSIMD=1 in the environment (or calling SetEnabled(false)
+// at runtime) routes every kernel back to the scalar reference path. The
+// scalar path is the correctness anchor: equivalence property tests in
+// internal/formats pin the dispatched kernels against it on every run.
+//
+// # Accumulation-order contract
+//
+// The dispatched kernels are drop-in replacements at the bit level
+// wherever the scalar kernel's accumulation order survives vectorization:
+//
+//   - AxpyGather (ELL column sweep): each y[j] receives exactly one
+//     mul-then-add per slab column, in the same column order — results are
+//     bit-identical to the scalar sweep.
+//   - LaneDot4 (SELL-C-sigma slab): each lane's sum accumulates
+//     sequentially in ascending column order (lanes are independent SIMD
+//     lanes) — bit-identical.
+//   - Bcsr2x2 / Bcsr2x2Tile: per block the scalar kernel computes
+//     s += (v0*x0 + v1*x1); the vector kernel reproduces exactly that
+//     pairing — bit-identical.
+//   - DotBcastTile (fused SpMM tile): each of the 4 vector lanes is an
+//     independent sequential sum in entry order — bit-identical.
+//
+// These kernels deliberately use separate multiply and add instructions
+// (no FMA contraction), because fusing the rounding step would break the
+// bit contract for a negligible win on gather-bound loops.
+//
+// The one exception is DotGather (CSR row dot-product): it carries eight
+// partial sums (two 4-lane vectors) reduced pairwise at row end, and uses
+// FMA. Relative to the strictly sequential scalar sum this reassociates
+// the addition tree and fuses rounding, so results may differ by a few
+// ULPs (the property tests document and enforce a relative tolerance).
+// This mirrors the existing Vec-CSR kernel, which already reassociates
+// with four scalar accumulators.
+//
+// # Index trust
+//
+// The kernels gather x through 32-bit column indices with no bounds
+// checks (that is much of the speedup). Callers must guarantee indices
+// are in [0, len(x)); every format in internal/formats does so by
+// construction from a validated CSR matrix.
+package simd
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvNoSIMD disables the dispatched kernels at process start when set to
+// any value other than "" or "0".
+const EnvNoSIMD = "SPMV_NOSIMD"
+
+// enabled is the runtime kill switch; true only when accelerated kernels
+// are installed AND not switched off.
+var enabled atomic.Bool
+
+// hasAccel reports whether accelerated kernels were installed at init.
+var hasAccel bool
+
+// level names the installed acceleration tier ("avx2", "scalar").
+var level = "scalar"
+
+// width is the SIMD width in float64 lanes of the installed kernels
+// (1 when only the scalar path exists).
+var width = 1
+
+// features lists the detected CPU SIMD capabilities (detection result,
+// independent of what was installed or whether the switch is on).
+var features []string
+
+var setMu sync.Mutex
+
+func init() {
+	detect() // arch-specific: fills features, hasAccel, level, width, installs pointers
+	if hasAccel && !envDisabled() {
+		enabled.Store(true)
+	}
+}
+
+// envDisabled reports the SPMV_NOSIMD state.
+func envDisabled() bool {
+	v := os.Getenv(EnvNoSIMD)
+	return v != "" && v != "0"
+}
+
+// Enabled reports whether the dispatched kernels are active. Format
+// kernels consult this once per invocation and fall back to their scalar
+// loops when false.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled switches the dispatched kernels on or off at runtime (the
+// programmatic twin of SPMV_NOSIMD). Enabling is a no-op on hardware
+// without accelerated kernels. It returns the previous state.
+func SetEnabled(on bool) bool {
+	setMu.Lock()
+	defer setMu.Unlock()
+	prev := enabled.Load()
+	enabled.Store(on && hasAccel)
+	return prev
+}
+
+// Available reports whether accelerated kernels exist for this CPU,
+// regardless of the current switch state.
+func Available() bool { return hasAccel }
+
+// Level names the active dispatch tier: the installed accelerator level
+// ("avx2") while enabled, "scalar" otherwise.
+func Level() string {
+	if Enabled() {
+		return level
+	}
+	return "scalar"
+}
+
+// InstalledLevel names the accelerator tier installed at init, ignoring
+// the kill switch ("scalar" when none was).
+func InstalledLevel() string { return level }
+
+// Width returns the SIMD width in float64 lanes of the active dispatch:
+// the hardware vector width while enabled, 1 otherwise. Format defaults
+// (e.g. the SELL-C-sigma chunk size) and the host device model key off
+// this.
+func Width() int {
+	if Enabled() {
+		return width
+	}
+	return 1
+}
+
+// Features returns the detected CPU SIMD feature names (e.g. "avx2",
+// "fma", "avx512f"), independent of the kill switch. Empty on
+// architectures without detection.
+func Features() []string {
+	out := make([]string, len(features))
+	copy(out, features)
+	return out
+}
+
+// KernelInfo describes one dispatch-table entry for reporting: which
+// kernel, and which implementation serves it right now.
+type KernelInfo struct {
+	Kernel string `json:"kernel"`
+	Impl   string `json:"impl"`
+}
+
+// kernelNames lists the dispatchable kernels in stable report order.
+var kernelNames = []string{
+	"csr.dot-gather",
+	"ell.axpy-gather",
+	"sellcs.lane-dot4",
+	"bcsr.2x2",
+	"multi.bcast-tile4",
+	"bcsr.2x2-tile4",
+}
+
+// Table returns the active dispatch table, one row per kernel, for CLI
+// and BENCH artifact reporting — the record that makes a measurement
+// attributable to the host ISA.
+func Table() []KernelInfo {
+	impl := Level()
+	out := make([]KernelInfo, len(kernelNames))
+	for i, n := range kernelNames {
+		out[i] = KernelInfo{Kernel: n, Impl: impl}
+	}
+	return out
+}
+
+// --- dispatched entry points -------------------------------------------
+//
+// Each wrapper validates the degenerate cases the assembly does not
+// (empty inputs) and forwards to the installed implementation. The
+// pointers are installed once at init; SetEnabled gates callers, not the
+// table, so a mid-flight toggle never races a nil pointer.
+
+// The kernels take only pointers into long-lived format storage and
+// return their accumulator tiles BY VALUE ([4]/[8]float64). That shape is
+// deliberate: an indirect call is an escape-analysis barrier, so a
+// pointer-out parameter would force every caller's stack-resident register
+// tile to the heap — one allocation per row tile. Value returns keep the
+// hot loops allocation-free.
+
+// DotGather returns sum(val[i] * x[idx[i]]). Multi-accumulator with FMA:
+// reassociates relative to a sequential sum (see the package contract).
+func DotGather(val []float64, idx []int32, x []float64) float64 {
+	n := len(val)
+	if n == 0 {
+		return 0
+	}
+	_ = idx[n-1]
+	return dotGather(&val[0], &idx[0], &x[0], n)
+}
+
+// AxpyGather computes y[j] += val[j] * x[idx[j]] for every j.
+// Bit-identical to the scalar loop.
+func AxpyGather(y, val []float64, idx []int32, x []float64) {
+	n := len(y)
+	if n == 0 {
+		return
+	}
+	_ = val[n-1]
+	_ = idx[n-1]
+	axpyGather(&y[0], &val[0], &idx[0], &x[0], n)
+}
+
+// LaneDot4 returns four independent lane sums over a strided slab:
+// sums[l] = sum over j in [0, n) of val[j*stride+l] * x[idx[j*stride+l]],
+// l in [0, 4). val and idx must hold at least (n-1)*stride+4 entries.
+// Bit-identical to the scalar lane loop.
+func LaneDot4(val []float64, idx []int32, x []float64, stride, n int) [4]float64 {
+	if n == 0 {
+		return [4]float64{}
+	}
+	_ = val[(n-1)*stride+3]
+	_ = idx[(n-1)*stride+3]
+	return laneDot4(&val[0], &idx[0], &x[0], stride, n)
+}
+
+// Bcsr2x2 accumulates one BCSR block row of interior 2x2 blocks:
+// s0 += v0*x0 + v1*x1, s1 += v2*x0 + v3*x1 per block, with x0, x1 read at
+// column blkCol[b]*2. Bit-identical to the scalar block loop.
+func Bcsr2x2(val []float64, blkCol []int32, x []float64, n int) (s0, s1 float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	_ = val[n*4-1]
+	_ = blkCol[n-1]
+	return bcsr2x2(&val[0], &blkCol[0], &x[0], n)
+}
+
+// DotBcastTile returns a 4-vector SpMM register tile:
+// dst[t] = sum over j in [0, n) of val[j*stride] * x[idx[j*stride]*k + t],
+// t in [0, 4). x must be pre-offset to the tile start (so its element 0 is
+// vector lane 0 of the tile). Bit-identical to the scalar tile loop.
+func DotBcastTile(val []float64, idx []int32, x []float64, stride, n, k int) [4]float64 {
+	if n == 0 {
+		return [4]float64{}
+	}
+	_ = val[(n-1)*stride]
+	_ = idx[(n-1)*stride]
+	return dotBcastTile(&val[0], &idx[0], &x[0], stride, n, k)
+}
+
+// Bcsr2x2Tile returns a 2-row x 4-vector BCSR SpMM tile over n interior
+// 2x2 blocks: lo is block row 0's tile, hi row 1's. x must be pre-offset
+// to the tile start. Bit-identical to the scalar tile loop.
+func Bcsr2x2Tile(val []float64, blkCol []int32, x []float64, n, k int) (lo, hi [4]float64) {
+	if n == 0 {
+		return [4]float64{}, [4]float64{}
+	}
+	_ = val[n*4-1]
+	_ = blkCol[n-1]
+	return bcsr2x2Tile(&val[0], &blkCol[0], &x[0], n, k)
+}

@@ -1,0 +1,229 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The kernel-level property tests: every dispatched kernel against its
+// scalar reference, across sizes that hit every tail path. Order-preserving
+// kernels must match bit-for-bit; DotGather gets the documented relative
+// tolerance (it reassociates and fuses rounding).
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func randIdx(rng *rand.Rand, n, bound int) []int32 {
+	c := make([]int32, n)
+	for i := range c {
+		c[i] = int32(rng.Intn(bound))
+	}
+	return c
+}
+
+func TestDotGatherMatchesScalar(t *testing.T) {
+	if !Available() {
+		t.Skip("no accelerated kernels on this host")
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := randVec(rng, 999)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 12, 13, 16, 100, 1023} {
+		val := randVec(rng, n)
+		idx := randIdx(rng, n, len(x))
+		got := DotGather(val, idx, x)
+		want := dotGatherScalar(ptr(val), ptrI(idx), &x[0], n)
+		if n == 0 {
+			want = 0
+		}
+		if !closeULP(got, want, 4) {
+			t.Errorf("n=%d: DotGather=%v scalar=%v (diff %g)", n, got, want, got-want)
+		}
+	}
+}
+
+func TestAxpyGatherBitIdentical(t *testing.T) {
+	if !Available() {
+		t.Skip("no accelerated kernels on this host")
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := randVec(rng, 777)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 64, 101} {
+		val := randVec(rng, n)
+		idx := randIdx(rng, n, len(x))
+		y1 := randVec(rng, n)
+		y2 := append([]float64(nil), y1...)
+		AxpyGather(y1, val, idx, x)
+		if n > 0 {
+			axpyGatherScalar(&y2[0], &val[0], &idx[0], &x[0], n)
+		}
+		for j := range y1 {
+			if y1[j] != y2[j] {
+				t.Fatalf("n=%d j=%d: %v != %v", n, j, y1[j], y2[j])
+			}
+		}
+	}
+}
+
+func TestLaneDot4BitIdentical(t *testing.T) {
+	if !Available() {
+		t.Skip("no accelerated kernels on this host")
+	}
+	rng := rand.New(rand.NewSource(3))
+	x := randVec(rng, 555)
+	for _, stride := range []int{4, 8, 12} {
+		for _, n := range []int{0, 1, 2, 17, 63} {
+			ln := 4
+			if n > 0 {
+				ln = (n-1)*stride + 4
+			}
+			val := randVec(rng, ln)
+			idx := randIdx(rng, ln, len(x))
+			s1 := LaneDot4(val, idx, x, stride, n)
+			var s2 [4]float64
+			if n > 0 {
+				s2 = laneDot4Scalar(&val[0], &idx[0], &x[0], stride, n)
+			}
+			if s1 != s2 {
+				t.Fatalf("stride=%d n=%d: %v != %v", stride, n, s1, s2)
+			}
+		}
+	}
+}
+
+func TestBcsr2x2BitIdentical(t *testing.T) {
+	if !Available() {
+		t.Skip("no accelerated kernels on this host")
+	}
+	rng := rand.New(rand.NewSource(4))
+	const blkCols = 200
+	x := randVec(rng, blkCols*2)
+	for _, n := range []int{0, 1, 2, 3, 16, 97} {
+		val := randVec(rng, n*4)
+		bc := randIdx(rng, n, blkCols)
+		g0, g1 := Bcsr2x2(val, bc, x, n)
+		var w0, w1 float64
+		if n > 0 {
+			w0, w1 = bcsr2x2Scalar(&val[0], &bc[0], &x[0], n)
+		}
+		if g0 != w0 || g1 != w1 {
+			t.Fatalf("n=%d: (%v,%v) != (%v,%v)", n, g0, g1, w0, w1)
+		}
+	}
+}
+
+func TestDotBcastTileBitIdentical(t *testing.T) {
+	if !Available() {
+		t.Skip("no accelerated kernels on this host")
+	}
+	rng := rand.New(rand.NewSource(5))
+	const cols = 300
+	for _, k := range []int{4, 8} {
+		x := randVec(rng, cols*k)
+		for _, stride := range []int{1, 4} {
+			for _, n := range []int{0, 1, 2, 33} {
+				ln := 1
+				if n > 0 {
+					ln = (n-1)*stride + 1
+				}
+				val := randVec(rng, ln)
+				idx := randIdx(rng, ln, cols)
+				// tile offset t = k-4: exercises the pre-offset contract
+				d1 := DotBcastTile(val, idx, x[k-4:], stride, n, k)
+				var d2 [4]float64
+				if n > 0 {
+					d2 = dotBcastTileScalar(&val[0], &idx[0], &x[k-4], stride, n, k)
+				}
+				if d1 != d2 {
+					t.Fatalf("k=%d stride=%d n=%d: %v != %v", k, stride, n, d1, d2)
+				}
+			}
+		}
+	}
+}
+
+func TestBcsr2x2TileBitIdentical(t *testing.T) {
+	if !Available() {
+		t.Skip("no accelerated kernels on this host")
+	}
+	rng := rand.New(rand.NewSource(6))
+	const blkCols = 150
+	for _, k := range []int{4, 8} {
+		x := randVec(rng, blkCols*2*k)
+		for _, n := range []int{0, 1, 2, 3, 40} {
+			val := randVec(rng, n*4)
+			bc := randIdx(rng, n, blkCols)
+			lo1, hi1 := Bcsr2x2Tile(val, bc, x[k-4:], n, k)
+			var lo2, hi2 [4]float64
+			if n > 0 {
+				lo2, hi2 = bcsr2x2TileScalar(&val[0], &bc[0], &x[k-4], n, k)
+			}
+			if lo1 != lo2 || hi1 != hi2 {
+				t.Fatalf("k=%d n=%d: (%v,%v) != (%v,%v)", k, n, lo1, hi1, lo2, hi2)
+			}
+		}
+	}
+}
+
+func TestKillSwitch(t *testing.T) {
+	if !Available() {
+		t.Skip("no accelerated kernels on this host")
+	}
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	if Enabled() {
+		t.Fatal("Enabled() true after SetEnabled(false)")
+	}
+	if Level() != "scalar" {
+		t.Fatalf("Level() = %q with dispatch off", Level())
+	}
+	if Width() != 1 {
+		t.Fatalf("Width() = %d with dispatch off", Width())
+	}
+	SetEnabled(true)
+	if !Enabled() || Level() == "scalar" || Width() < 2 {
+		t.Fatalf("re-enable failed: enabled=%v level=%q width=%d", Enabled(), Level(), Width())
+	}
+}
+
+func TestTableReportsInstalledLevel(t *testing.T) {
+	tab := Table()
+	if len(tab) == 0 {
+		t.Fatal("empty dispatch table")
+	}
+	for _, e := range tab {
+		if e.Impl != Level() {
+			t.Fatalf("kernel %s impl %q != active level %q", e.Kernel, e.Impl, Level())
+		}
+	}
+}
+
+func ptr(v []float64) *float64 {
+	if len(v) == 0 {
+		return new(float64)
+	}
+	return &v[0]
+}
+
+func ptrI(v []int32) *int32 {
+	if len(v) == 0 {
+		return new(int32)
+	}
+	return &v[0]
+}
+
+// closeULP accepts a small relative error (the DotGather reassociation
+// tolerance).
+func closeULP(a, b float64, ulps float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= ulps*scale*0x1p-52
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/matrix"
 	"repro/internal/selector"
+	"repro/internal/simd"
 )
 
 // Core matrix types.
@@ -102,6 +103,25 @@ func Formats() []FormatBuilder { return formats.Registry() }
 // a time. This is the kernel block Krylov solvers and multi-query
 // inference issue per iteration.
 func MultiplyMany(f Format, y, x []float64, k int) { f.MultiplyMany(y, x, k) }
+
+// SetSIMD toggles the runtime SIMD dispatch layer (internal/simd): the
+// architecture-detected micro-kernels behind the CSR, ELL, SELL-C-sigma
+// and BCSR hot loops. It returns the previous state. Enabling is a no-op
+// on hosts without accelerated kernels; the SPMV_NOSIMD environment
+// variable forces scalar dispatch at startup without code changes. The
+// scalar kernels are the portable reference the accelerated ones are
+// property-tested against — see docs/ARCHITECTURE.md, "The dispatch
+// layer".
+func SetSIMD(on bool) bool { return simd.SetEnabled(on) }
+
+// SIMDInfo reports the active dispatch configuration: the instruction-set
+// level the kernels currently run at ("scalar", "avx2"), the vector width
+// in float64 lanes, and the CPU feature set detected at startup (which
+// may exceed the active level — detection reports what the host has,
+// dispatch uses what the kernels support).
+func SIMDInfo() (level string, width int, features []string) {
+	return simd.Level(), simd.Width(), simd.Features()
+}
 
 // SetVecWideRowMin overrides the row-length cutoff at which the vectorized
 // CSR kernels switch to their 8-accumulator wide inner loop (default 512,
