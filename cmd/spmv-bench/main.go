@@ -40,7 +40,10 @@
 // `spmv-bench -rhs 8 -json BENCH_spmm.json` records the fused multi-vector
 // kernels' per-vector speedup over 8 sequential Multiply calls, and
 // `spmv-bench -json BENCH_select.json select` records the auto-selection
-// subsystem's retained performance vs exhaustive search. Every run
+// subsystem's retained performance vs exhaustive search, and
+// `spmv-bench -json BENCH_update.json update` records the updatable
+// overlay's retained throughput vs the bare base plus one compaction's
+// freeze/rebuild timing split. Every run
 // appends a "shards" report with the execution engine's per-shard dispatch
 // counts and busy time, so concurrency behavior is visible alongside
 // kernel numbers.

@@ -134,6 +134,7 @@ func Experiments() []Experiment {
 		{"spmm", "Fused multi-vector SpMV (SpMM) vs sequential baseline", RunSpMM},
 		{"simd", "SIMD dispatch A/B: accelerated kernels vs scalar references", RunSIMD},
 		{"select", "Auto format selection vs exhaustive search (retained performance)", RunSelect},
+		{"update", "Updatable overlay overhead and compaction timings", RunUpdate},
 	}
 }
 

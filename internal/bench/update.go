@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/formats"
+	"repro/internal/matrix"
+	"repro/internal/topo"
+	"repro/internal/update"
+)
+
+// updateFills are the overlay fill fractions (overlay entries relative to
+// base nonzeros) the update experiment measures. Zero is the sanity
+// anchor: an empty overlay must cost (almost) nothing over the bare base.
+var updateFills = []float64{0, 0.001, 0.01, 0.05}
+
+// updateGateFill and updateGateRatio define the acceptance gate: at 1%
+// overlay fill the fused base+delta multiply must retain at least 0.85x
+// of the pure-base throughput (see docs/BENCHMARKS.md).
+const (
+	updateGateFill  = 0.01
+	updateGateRatio = 0.85
+)
+
+// updateTiers returns the matrix scales the update experiment runs; the
+// spmm generator tiers minus the largest (update overhead is a ratio, not
+// a bandwidth study).
+func updateTiers() []spmmTier {
+	all := spmmTiers()
+	return all[:2] // small-80k, medium-600k
+}
+
+// RunUpdate measures the cost of the updatable overlay: fused base+delta
+// multiply throughput at increasing overlay fills, relative to the bare
+// base format on the same engine, at k = 1 and k = 8 — plus the
+// freeze/rebuild split of one full compaction. The overlay entries are
+// random never-before-seen cells (the worst case: no base-row locality),
+// applied through the public Set path so the measured state is exactly
+// what a live writer produces.
+func RunUpdate(o Options) []*Report {
+	k := o.RHS
+	if k < 1 {
+		k = DefaultRHS
+	}
+	workers := exec.MaxWorkers()
+	exec.Prestart()
+
+	r := &Report{
+		ID:     "update",
+		Title:  "Updatable overlay: fused base+delta multiply vs pure base",
+		Header: []string{"tier", "fill", "k", "base_ms", "fused_ms", "retained"},
+	}
+	var gateWorst float64 = -1
+	for _, tier := range updateTiers() {
+		m, err := tier.build(o.Seed)
+		if err != nil {
+			r.AddNote("tier %s: matrix generation failed: %v", tier.name, err)
+			continue
+		}
+		b, _ := formats.Lookup("Naive-CSR")
+		base, err := b.Build(m)
+		if err != nil {
+			r.AddNote("tier %s: base build failed: %v", tier.name, err)
+			continue
+		}
+		x1 := matrix.RandomVector(m.Cols, o.Seed+3)
+		y1 := make([]float64, m.Rows)
+		xk := matrix.RandomVector(m.Cols*k, o.Seed+5)
+		yk := make([]float64, m.Rows*k)
+		base.SpMVParallel(x1, y1, workers) // warm plans/pools
+		base.MultiplyMany(yk, xk, k)
+		baseNs1 := spmmMeasureNs(func() { base.SpMVParallel(x1, y1, workers) })
+		baseNsK := spmmMeasureNs(func() { base.MultiplyMany(yk, xk, k) })
+
+		for _, fill := range updateFills {
+			u, err := update.New(m, update.Options{Format: "Naive-CSR", NoAutoCompact: true})
+			if err != nil {
+				r.AddNote("tier %s: updatable build failed: %v", tier.name, err)
+				continue
+			}
+			n := int(fill * float64(m.NNZ()))
+			rng := rand.New(rand.NewSource(o.Seed + 11))
+			for i := 0; i < n; i++ {
+				u.Set(rng.Intn(m.Rows), rng.Intn(m.Cols), 1+float64(i%7))
+			}
+			u.SpMVParallel(x1, y1, workers)
+			u.MultiplyMany(yk, xk, k)
+			fusedNs1 := spmmMeasureNs(func() { u.SpMVParallel(x1, y1, workers) })
+			fusedNsK := spmmMeasureNs(func() { u.MultiplyMany(yk, xk, k) })
+			for _, row := range []struct {
+				k               int
+				baseNs, fusedNs float64
+			}{{1, baseNs1, fusedNs1}, {k, baseNsK, fusedNsK}} {
+				retained := row.baseNs / row.fusedNs
+				r.AddRow(tier.name, fmt.Sprintf("%.1f%%", fill*100), fmt.Sprintf("%d", row.k),
+					fmt.Sprintf("%.3f", row.baseNs/1e6), fmt.Sprintf("%.3f", row.fusedNs/1e6),
+					fmt.Sprintf("%.2f", retained))
+				if fill == updateGateFill && (gateWorst < 0 || retained < gateWorst) {
+					gateWorst = retained
+				}
+			}
+			if fill == updateFills[len(updateFills)-1] {
+				// One full compaction on the most-filled overlay: report the
+				// writer-pause (freeze) vs total (freeze+merge+rebuild) split.
+				start := time.Now()
+				if err := u.Compact(); err != nil {
+					r.AddNote("tier %s: compaction failed: %v", tier.name, err)
+					continue
+				}
+				st := u.Stats()
+				r.AddNote("tier %s: compaction of %d overlay entries: freeze (writers paused) %.3f ms, total %.3f ms (wall %.3f ms), base now %s/%d nnz",
+					tier.name, n, float64(st.LastFreezeNs)/1e6, float64(st.LastCompactNs)/1e6,
+					float64(time.Since(start).Nanoseconds())/1e6, st.BaseFormat, st.BaseNNZ)
+			}
+		}
+	}
+	if gateWorst >= 0 {
+		verdict := "PASS"
+		if gateWorst < updateGateRatio {
+			verdict = "FAIL"
+		}
+		r.AddNote("acceptance gate (%.0f%% fill, all tiers and k): worst retained throughput %.2fx, floor %.2fx: %s",
+			updateGateFill*100, gateWorst, updateGateRatio, verdict)
+	}
+	r.AddNote("method: min ns/op over 3 adaptive runs (>=%v each side); base is Naive-CSR both sides; overlay entries are random new cells applied via Set (active log, the steady write-path state)", spmmMinMeasure)
+	r.AddNote("host: GOMAXPROCS=%d, %d engine shard(s) over %d topology domain(s)",
+		runtime.GOMAXPROCS(0), topo.Shards(), topo.NumDomains())
+	return []*Report{r}
+}

@@ -200,6 +200,28 @@ func (c *DecisionCache) Evicted() uint64 {
 	return c.evicted
 }
 
+// InvalidateFingerprint drops every cached decision for the fingerprint,
+// across all (device, k, shards) contexts at once — when a matrix's
+// structure drifts, every regime's ranking of the dead structure drifts
+// with it. Returns how many entries were dropped. Only memory is touched:
+// journaled decisions for the dead fingerprint stay on disk and replay
+// harmlessly (the drifted matrix hashes to a different fingerprint, so
+// nothing ever looks the stale entries up) until a journal compaction
+// rewrites them away.
+func (c *DecisionCache) InvalidateFingerprint(fp uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, el := range c.m {
+		if k.Fingerprint == fp {
+			delete(c.m, k)
+			c.lru.Remove(el)
+			n++
+		}
+	}
+	return n
+}
+
 // Clear drops every cached decision and resets the counters. The attached
 // journal, if any, is untouched: Clear empties memory, not history.
 func (c *DecisionCache) Clear() {

@@ -1,0 +1,34 @@
+package cache
+
+import "testing"
+
+// TestInvalidateFingerprint: drift invalidation drops every regime of the
+// fingerprint and nothing else, and keeps the LRU list consistent.
+func TestInvalidateFingerprint(t *testing.T) {
+	c := NewDecisionCache()
+	c.Put(DecisionKey{Fingerprint: 1, Device: "host", K: 1, Shards: 1}, Decision{Format: "A"})
+	c.Put(DecisionKey{Fingerprint: 1, Device: "host", K: 8, Shards: 1}, Decision{Format: "B"})
+	c.Put(DecisionKey{Fingerprint: 1, Device: "gpu", K: 1, Shards: 4}, Decision{Format: "C"})
+	c.Put(DecisionKey{Fingerprint: 2, Device: "host", K: 1, Shards: 1}, Decision{Format: "D"})
+
+	if n := c.InvalidateFingerprint(1); n != 3 {
+		t.Fatalf("dropped %d decisions, want 3", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d decisions, want 1", c.Len())
+	}
+	if _, ok := c.Get(DecisionKey{Fingerprint: 1, Device: "host", K: 1, Shards: 1}); ok {
+		t.Fatal("invalidated decision still served")
+	}
+	if d, ok := c.Get(DecisionKey{Fingerprint: 2, Device: "host", K: 1, Shards: 1}); !ok || d.Format != "D" {
+		t.Fatal("unrelated fingerprint was dropped")
+	}
+	if n := c.InvalidateFingerprint(99); n != 0 {
+		t.Fatalf("unknown fingerprint dropped %d", n)
+	}
+	// The survivor must still cycle through the LRU without issue.
+	c.Put(DecisionKey{Fingerprint: 3, Device: "host", K: 1, Shards: 1}, Decision{Format: "E"})
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d decisions, want 2", c.Len())
+	}
+}

@@ -10,38 +10,16 @@ import (
 	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/matrix"
+	"repro/internal/testutil"
 )
 
 // engineTestMatrices are large enough that exec.Workers keeps multi-worker
 // counts (the small matrices of formats_test.go all take the serial fast
 // path now), and diverse enough to cross every kernel's special cases:
 // skew for the carry logic, a >=vecWideRowMin row for the wide unrolled
-// path, and a banded matrix that DIA accepts.
+// path, and a banded matrix that DIA accepts (testutil.EngineMatrices).
 func engineTestMatrices(t *testing.T) map[string]*matrix.CSR {
-	t.Helper()
-	ms := map[string]*matrix.CSR{
-		"banded": matrix.Tridiagonal(20000, 2, -1),
-	}
-	g, err := gen.Generate(gen.Params{
-		Rows: 30000, Cols: 30000, AvgNNZPerRow: 12, StdNNZPerRow: 4,
-		SkewCoeff: 50, BWScaled: 0.3, CrossRowSim: 0.4, AvgNumNeigh: 0.8, Seed: 21,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ms["generated"] = g
-
-	// A few giant rows dominate: exercises merge-path row splitting, COO
-	// whole-chunk carries, and the wide vectorized row path.
-	sizes := make([]int, 1500)
-	for i := range sizes {
-		sizes[i] = 6
-	}
-	sizes[0] = 2000
-	sizes[700] = 1200
-	sizes[1499] = 800
-	ms["longrows"] = matrix.RandomRowSizes(1500, 2500, sizes, 22)
-	return ms
+	return testutil.EngineMatrices(t)
 }
 
 // TestEngineSerialParallelEquivalence is the engine-level correctness

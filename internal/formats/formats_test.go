@@ -6,66 +6,23 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/gen"
 	"repro/internal/matrix"
+	"repro/internal/testutil"
 )
 
-// testMatrices returns a diverse set of matrices exercising the structural
-// corner cases: empty rows, dense rows, skew, banding, single row/column.
-func testMatrices(t *testing.T) map[string]*matrix.CSR {
-	t.Helper()
-	ms := map[string]*matrix.CSR{
-		"identity":    matrix.Identity(64),
-		"tridiagonal": matrix.Tridiagonal(100, 2, -1),
-		"laplacian2d": matrix.Laplacian2D(12, 9),
-		"random":      matrix.Random(83, 71, 0.1, 3),
-		"denser":      matrix.Random(40, 40, 0.4, 4),
-		"singlerow":   matrix.RandomRowSizes(1, 50, []int{20}, 5),
-		"singlecol":   matrix.Random(50, 1, 0.8, 6),
-		"skewed":      matrix.RandomRowSizes(60, 200, skewedSizes(60, 120), 7),
-		"emptyrows":   withEmptyRows(t),
-		"tiny":        matrix.Identity(1),
-	}
-	g, err := gen.Generate(gen.Params{
-		Rows: 500, Cols: 500, AvgNNZPerRow: 12, StdNNZPerRow: 4,
-		SkewCoeff: 20, BWScaled: 0.4, CrossRowSim: 0.4, AvgNumNeigh: 0.8, Seed: 11,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ms["generated"] = g
-	return ms
-}
+// The matrix generators and comparison helpers live in internal/testutil —
+// the shared randomized-equivalence harness — with thin aliases here so
+// every test file in the package reads the same as before the extraction.
+func testMatrices(t *testing.T) map[string]*matrix.CSR { return testutil.Matrices(t) }
 
-func skewedSizes(rows, max int) []int {
-	sizes := make([]int, rows)
-	for i := range sizes {
-		sizes[i] = 1
-	}
-	sizes[0] = max
-	sizes[rows/2] = max / 2
-	return sizes
-}
+func skewedSizes(rows, max int) []int { return testutil.SkewedSizes(rows, max) }
 
-func withEmptyRows(t *testing.T) *matrix.CSR {
-	t.Helper()
-	o := matrix.NewCOO(30, 30, 0)
-	for i := 0; i < 30; i += 3 { // rows 1,2 mod 3 stay empty
-		o.Append(int32(i), int32(i), 2)
-		o.Append(int32(i), int32((i+7)%30), -1)
-	}
-	return o.ToCSR()
-}
+func uniformSizes(rows, n int) []int { return testutil.UniformSizes(rows, n) }
 
-func maxAbsDiff(a, b []float64) float64 {
-	max := 0.0
-	for i := range a {
-		if d := math.Abs(a[i] - b[i]); d > max {
-			max = d
-		}
-	}
-	return max
-}
+var (
+	maxAbsDiff = testutil.MaxAbsDiff
+	anyNaN     = testutil.AnyNaN
+)
 
 // TestAllFormatsMatchReference is the central correctness property: every
 // registered format must reproduce the CSR reference product, serially and
@@ -74,8 +31,9 @@ func TestAllFormatsMatchReference(t *testing.T) {
 	mats := testMatrices(t)
 	for name, m := range mats {
 		x := matrix.RandomVector(m.Cols, 1000)
-		want := make([]float64, m.Rows)
-		m.SpMV(x, want)
+		// Dense-reference compare: the oracle multiplies through the dense
+		// triple loop, so no sparse kernel is trusted on either side.
+		want := testutil.Reference(m, x)
 		for _, b := range Registry() {
 			f, err := b.Build(m)
 			if err != nil {
@@ -89,7 +47,7 @@ func TestAllFormatsMatchReference(t *testing.T) {
 			}
 			got := make([]float64, m.Rows)
 			f.SpMV(x, got)
-			if d := maxAbsDiff(got, want); d > 1e-9 {
+			if d := maxAbsDiff(got, want); d > testutil.TolSmall {
 				t.Errorf("%s on %s: serial SpMV differs by %g", b.Name, name, d)
 			}
 			for _, workers := range []int{2, 3, 8, 64} {
@@ -97,22 +55,13 @@ func TestAllFormatsMatchReference(t *testing.T) {
 					got[i] = math.NaN() // ensure every row is written
 				}
 				f.SpMVParallel(x, got, workers)
-				if d := maxAbsDiff(got, want); d > 1e-9 || anyNaN(got) {
+				if d := maxAbsDiff(got, want); d > testutil.TolSmall || anyNaN(got) {
 					t.Errorf("%s on %s with %d workers: parallel SpMV differs by %g",
 						b.Name, name, workers, d)
 				}
 			}
 		}
 	}
-}
-
-func anyNaN(v []float64) bool {
-	for _, x := range v {
-		if math.IsNaN(x) {
-			return true
-		}
-	}
-	return false
 }
 
 func TestRegistryNamesUniqueAndLookup(t *testing.T) {
@@ -197,14 +146,6 @@ func TestELLPaddingAndRejection(t *testing.T) {
 	if _, err := NewELL(huge.ToCSR()); !errors.Is(err, ErrBuild) {
 		t.Errorf("ELL accepted a pathological matrix: %v", err)
 	}
-}
-
-func uniformSizes(rows, n int) []int {
-	s := make([]int, rows)
-	for i := range s {
-		s[i] = n
-	}
-	return s
 }
 
 func TestHYBSplit(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/matrix"
+	"repro/internal/testutil"
 )
 
 // multiKs are the block widths the MultiplyMany property tests sweep: 1
@@ -18,43 +19,15 @@ var multiKs = []int{1, 2, 3, 4, 5, 8, 17}
 
 // multiplyManyWant is the specification: k independent Multiply calls
 // through the format's own serial kernel, gathered from / scattered to the
-// row-major block layout.
+// row-major block layout (testutil.MultiplyManyWant, shared with the
+// updatable-matrix suite).
 func multiplyManyWant(f Format, rows, cols int, x []float64, k int) []float64 {
-	want := make([]float64, rows*k)
-	xj := make([]float64, cols)
-	yj := make([]float64, rows)
-	for t := 0; t < k; t++ {
-		for c := 0; c < cols; c++ {
-			xj[c] = x[c*k+t]
-		}
-		f.SpMV(xj, yj)
-		for r := 0; r < rows; r++ {
-			want[r*k+t] = yj[r]
-		}
-	}
-	return want
+	return testutil.MultiplyManyWant(f, rows, cols, x, k)
 }
 
 // degenerateMatrices are the empty and near-empty shapes every format must
 // survive: no nonzeros, single entries, and empty-row runs at the edges.
-func degenerateMatrices() map[string]*matrix.CSR {
-	ms := map[string]*matrix.CSR{
-		"empty-5x7":  matrix.NewCOO(5, 7, 0).ToCSR(),
-		"single-1x1": nil,
-		"emptyrows":  nil,
-	}
-	o := matrix.NewCOO(1, 1, 0)
-	o.Append(0, 0, 2.5)
-	ms["single-1x1"] = o.ToCSR()
-	o = matrix.NewCOO(40, 40, 0)
-	for _, r := range []int32{3, 19, 20, 21, 39} {
-		for c := int32(0); c < 5; c++ {
-			o.Append(r, (c*7+r)%40, float64(r)+0.5)
-		}
-	}
-	ms["emptyrows"] = o.ToCSR()
-	return ms
-}
+func degenerateMatrices() map[string]*matrix.CSR { return testutil.Degenerate() }
 
 // TestMultiplyManyEquivalence is the tentpole correctness property: for
 // every registry format, MultiplyMany must equal k independent Multiply

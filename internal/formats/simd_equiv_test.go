@@ -1,12 +1,11 @@
 package formats
 
 import (
-	"math"
 	"testing"
 
-	"repro/internal/gen"
 	"repro/internal/matrix"
 	"repro/internal/simd"
+	"repro/internal/testutil"
 )
 
 // SIMD vs scalar dispatch equivalence: every registry format must produce
@@ -19,49 +18,14 @@ import (
 // Only the Vec-CSR row dot-product (and MKL-IE, which adopts the
 // vectorized row kernel) runs the reassociating gather+FMA kernel, and
 // Vec-CSR's scalar path already reassociates into 4/8 partial sums — those
-// two get a small relative tolerance instead.
-
-// reassocFormats are the formats allowed the relative tolerance.
-var reassocFormats = map[string]bool{"Vec-CSR": true, "MKL-IE": true}
-
-// simdEquivMatrices: a skewed general matrix (exercises gather tails,
-// SELL chunk variation, HYB spill), and an odd-dimension banded one (BCSR
-// edge blocks past the column bound, DIA-friendly structure).
+// two get a small relative tolerance instead. The matrix pair and the
+// bitwise-unless-reassociating policy live in internal/testutil, shared
+// with the updatable-matrix suite.
 func simdEquivMatrices(t *testing.T) map[string]*matrix.CSR {
-	t.Helper()
-	skewed, err := gen.Generate(gen.Params{
-		Rows: 2000, Cols: 2000, AvgNNZPerRow: 14, StdNNZPerRow: 5,
-		SkewCoeff: 10, BWScaled: 0.4, CrossRowSim: 0.4, AvgNumNeigh: 1.2, Seed: 77,
-	})
-	if err != nil {
-		t.Fatalf("generate skewed: %v", err)
-	}
-	banded, err := gen.Generate(gen.Params{
-		Rows: 1997, Cols: 1997, AvgNNZPerRow: 9, StdNNZPerRow: 2,
-		SkewCoeff: 1, BWScaled: 0.02, CrossRowSim: 0.8, AvgNumNeigh: 1.8, Seed: 78,
-	})
-	if err != nil {
-		t.Fatalf("generate banded: %v", err)
-	}
-	return map[string]*matrix.CSR{"skewed": skewed, "banded": banded}
+	return testutil.SIMDEquivMatrices(t)
 }
 
-func equalOrClose(name string, got, want []float64) (int, bool) {
-	for i := range got {
-		if got[i] == want[i] {
-			continue
-		}
-		if !reassocFormats[name] {
-			return i, false
-		}
-		diff := math.Abs(got[i] - want[i])
-		scale := math.Max(math.Abs(got[i]), math.Abs(want[i]))
-		if diff > 1e-12*scale {
-			return i, false
-		}
-	}
-	return 0, true
-}
+var equalOrClose = testutil.EqualOrClose
 
 // TestSIMDScalarEquivalence runs every format's single-vector kernels
 // (serial and parallel) under both dispatch modes and compares.

@@ -42,41 +42,93 @@ func (m *COO) Append(r, c int32, v float64) {
 
 // Compact sorts entries into row-major order and merges duplicates by
 // addition. It returns the number of merged duplicates.
+//
+// The compaction is delta-log friendly: one linear scan finds the longest
+// already-sorted duplicate-free prefix and leaves it in place, so a log
+// assembled by appending t new entries onto a previously compacted run
+// costs O(n + t log t) instead of re-sorting all n entries. An already
+// compact matrix (the common case for frozen overlays) is a pure scan
+// with no mutation at all. The tail sort is stable and the run merge
+// consumes the prefix first on equal cells, so duplicates accumulate in
+// append order — Compact is deterministic bit for bit.
 func (m *COO) Compact() int {
-	sort.Sort(cooOrder{m})
-	merged := 0
-	w := 0
-	for k := 0; k < len(m.Val); k++ {
-		if w > 0 && m.RowIdx[w-1] == m.RowIdx[k] && m.ColIdx[w-1] == m.ColIdx[k] {
-			m.Val[w-1] += m.Val[k]
-			merged++
-			continue
-		}
-		m.RowIdx[w] = m.RowIdx[k]
-		m.ColIdx[w] = m.ColIdx[k]
-		m.Val[w] = m.Val[k]
-		w++
+	n := len(m.Val)
+	if n <= 1 {
+		return 0
 	}
-	m.RowIdx = m.RowIdx[:w]
-	m.ColIdx = m.ColIdx[:w]
-	m.Val = m.Val[:w]
+	// Longest strictly increasing (row-major) prefix: sorted AND unique.
+	p := 1
+	for p < n && (m.RowIdx[p-1] < m.RowIdx[p] ||
+		(m.RowIdx[p-1] == m.RowIdx[p] && m.ColIdx[p-1] < m.ColIdx[p])) {
+		p++
+	}
+	if p == n {
+		return 0
+	}
+	sort.Stable(cooTail{m, p})
+	// Merge the two sorted runs into fresh arrays (the shrink on duplicate
+	// merge makes a safe in-place merge more trouble than the copy).
+	rowOut := make([]int32, 0, n)
+	colOut := make([]int32, 0, n)
+	valOut := make([]float64, 0, n)
+	merged := 0
+	push := func(r, c int32, v float64) {
+		if k := len(valOut); k > 0 && rowOut[k-1] == r && colOut[k-1] == c {
+			valOut[k-1] += v
+			merged++
+			return
+		}
+		rowOut = append(rowOut, r)
+		colOut = append(colOut, c)
+		valOut = append(valOut, v)
+	}
+	i, j := 0, p
+	for i < p && j < n {
+		// Prefix first on equal cells: its entries were appended (and any
+		// earlier Compact accumulated them) before everything in the tail.
+		if m.RowIdx[i] < m.RowIdx[j] ||
+			(m.RowIdx[i] == m.RowIdx[j] && m.ColIdx[i] <= m.ColIdx[j]) {
+			push(m.RowIdx[i], m.ColIdx[i], m.Val[i])
+			i++
+		} else {
+			push(m.RowIdx[j], m.ColIdx[j], m.Val[j])
+			j++
+		}
+	}
+	for ; i < p; i++ {
+		push(m.RowIdx[i], m.ColIdx[i], m.Val[i])
+	}
+	for ; j < n; j++ {
+		push(m.RowIdx[j], m.ColIdx[j], m.Val[j])
+	}
+	m.RowIdx = rowOut
+	m.ColIdx = colOut
+	m.Val = valOut
 	return merged
 }
 
-type cooOrder struct{ m *COO }
-
-func (o cooOrder) Len() int { return len(o.m.Val) }
-func (o cooOrder) Less(i, j int) bool {
-	if o.m.RowIdx[i] != o.m.RowIdx[j] {
-		return o.m.RowIdx[i] < o.m.RowIdx[j]
-	}
-	return o.m.ColIdx[i] < o.m.ColIdx[j]
+// cooTail sorts the unsorted tail [base:] of a COO log by (row, col).
+// Used with sort.Stable so entries for one cell keep their append order.
+type cooTail struct {
+	m    *COO
+	base int
 }
-func (o cooOrder) Swap(i, j int) {
+
+func (o cooTail) Len() int { return len(o.m.Val) - o.base }
+func (o cooTail) Less(i, j int) bool {
 	m := o.m
-	m.RowIdx[i], m.RowIdx[j] = m.RowIdx[j], m.RowIdx[i]
-	m.ColIdx[i], m.ColIdx[j] = m.ColIdx[j], m.ColIdx[i]
-	m.Val[i], m.Val[j] = m.Val[j], m.Val[i]
+	a, b := o.base+i, o.base+j
+	if m.RowIdx[a] != m.RowIdx[b] {
+		return m.RowIdx[a] < m.RowIdx[b]
+	}
+	return m.ColIdx[a] < m.ColIdx[b]
+}
+func (o cooTail) Swap(i, j int) {
+	m := o.m
+	a, b := o.base+i, o.base+j
+	m.RowIdx[a], m.RowIdx[b] = m.RowIdx[b], m.RowIdx[a]
+	m.ColIdx[a], m.ColIdx[b] = m.ColIdx[b], m.ColIdx[a]
+	m.Val[a], m.Val[b] = m.Val[b], m.Val[a]
 }
 
 // ToCSR converts the COO matrix to CSR, compacting it first.

@@ -1,0 +1,135 @@
+package matrix
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzReadMatrixMarket is the untrusted-input contract of the reader: on
+// arbitrary bytes it must either return an error or a structurally valid
+// CSR — never panic, and never allocate proportionally to a declared size
+// the stream does not back (the run lowers MMMaxDim so a hostile header
+// is rejected long before it could hurt, which is exactly the knob a
+// service parsing uploads would use). Accepted inputs must survive a
+// write/re-read round trip bit for bit.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 2.5\n3 2 -1\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n3 3 2\n2 1\n3 3\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate integer general\n2 4 3\n1 1 7\n1 4 -2\n2 3 5\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n5 5 10\n1 1 1\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real symmetric\n99999999 99999999 99999999\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 nan\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func(prev int) { MMMaxDim = prev }(MMMaxDim)
+		MMMaxDim = 1 << 12
+
+		m, err := ReadMatrixMarket(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking or over-allocating is not
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted input produced an invalid CSR: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			t.Fatalf("write back: %v", err)
+		}
+		m2, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if m.Rows != m2.Rows || m.Cols != m2.Cols || m.NNZ() != m2.NNZ() {
+			t.Fatalf("round trip changed shape: %v -> %v", m, m2)
+		}
+		for i := range m.RowPtr {
+			if m.RowPtr[i] != m2.RowPtr[i] {
+				t.Fatalf("round trip changed RowPtr[%d]", i)
+			}
+		}
+		for k := range m.Val {
+			// Bit comparison: %.17g round-trips every float64 exactly, and it
+			// must keep doing so for -0, infinities and NaN alike.
+			if m.ColIdx[k] != m2.ColIdx[k] ||
+				math.Float64bits(m.Val[k]) != math.Float64bits(m2.Val[k]) {
+				t.Fatalf("round trip changed entry %d: (%d, %x) -> (%d, %x)", k,
+					m.ColIdx[k], math.Float64bits(m.Val[k]),
+					m2.ColIdx[k], math.Float64bits(m2.Val[k]))
+			}
+		}
+	})
+}
+
+// FuzzCOOCompact pins the Compact contract the delta log depends on:
+// after any append sequence — with arbitrary interleaved intermediate
+// Compact calls, which exercise the sorted-prefix fast path — the log
+// holds exactly one entry per touched cell, in strictly increasing
+// row-major order, with the value equal (bit for bit) to the left-fold
+// sum of that cell's appends in program order. A second Compact must be a
+// pure no-op (idempotence).
+func FuzzCOOCompact(f *testing.F) {
+	f.Add([]byte{4, 4, 1, 1, 10, 1, 1, 246, 0, 3, 80})
+	f.Add([]byte{1, 1, 0, 0, 1, 0, 0, 2, 0, 0, 3})
+	f.Add([]byte{16, 16, 8, 7, 6, 5, 4, 3, 2, 1, 0, 0, 0, 0, 1, 2, 3})
+	f.Add([]byte{3, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		rows := int(data[0]%16) + 1
+		cols := int(data[1]%16) + 1
+		entries := data[2:]
+		type cell struct{ r, c int32 }
+		o := NewCOO(rows, cols, 0)
+		acc := map[cell]float64{}
+		for e := 0; e+3 <= len(entries); e += 3 {
+			r := int32(int(entries[e]) % rows)
+			c := int32(int(entries[e+1]) % cols)
+			v := float64(int8(entries[e+2])) / 8
+			o.Append(r, c, v)
+			acc[cell{r, c}] += v
+			if entries[e]&7 == 0 {
+				o.Compact() // interleaved compactions must not change the outcome
+			}
+		}
+		o.Compact()
+
+		if len(o.Val) != len(acc) {
+			t.Fatalf("%d entries after Compact, want one per touched cell (%d)", len(o.Val), len(acc))
+		}
+		for k := range o.Val {
+			if k > 0 {
+				if o.RowIdx[k-1] > o.RowIdx[k] ||
+					(o.RowIdx[k-1] == o.RowIdx[k] && o.ColIdx[k-1] >= o.ColIdx[k]) {
+					t.Fatalf("ordering violated at %d: (%d,%d) then (%d,%d)", k,
+						o.RowIdx[k-1], o.ColIdx[k-1], o.RowIdx[k], o.ColIdx[k])
+				}
+			}
+			want, ok := acc[cell{o.RowIdx[k], o.ColIdx[k]}]
+			if !ok {
+				t.Fatalf("entry (%d,%d) was never appended", o.RowIdx[k], o.ColIdx[k])
+			}
+			if math.Float64bits(want) != math.Float64bits(o.Val[k]) {
+				t.Fatalf("cell (%d,%d) = %x, want append-order sum %x",
+					o.RowIdx[k], o.ColIdx[k], math.Float64bits(o.Val[k]), math.Float64bits(want))
+			}
+		}
+
+		rowBefore := append([]int32(nil), o.RowIdx...)
+		colBefore := append([]int32(nil), o.ColIdx...)
+		valBefore := append([]float64(nil), o.Val...)
+		if m := o.Compact(); m != 0 {
+			t.Fatalf("second Compact merged %d entries", m)
+		}
+		for k := range valBefore {
+			if o.RowIdx[k] != rowBefore[k] || o.ColIdx[k] != colBefore[k] ||
+				math.Float64bits(o.Val[k]) != math.Float64bits(valBefore[k]) {
+				t.Fatalf("second Compact changed entry %d", k)
+			}
+		}
+
+		if err := o.ToCSR().Validate(); err != nil {
+			t.Fatalf("compacted log converts to invalid CSR: %v", err)
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMergeCOOAgainstDense: merging an additive overlay must equal the
+// dense computation cell by cell, for random bases and random deltas that
+// mix adds onto existing cells, new cells, and exact cancellations.
+func TestMergeCOOAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := rng.Intn(20)+1, rng.Intn(20)+1
+		base := Random(rows, cols, 0.2, int64(trial)+5)
+		want := base.ToDense()
+		delta := NewCOO(rows, cols, 0)
+		for e := 0; e < rng.Intn(40); e++ {
+			r, c := int32(rng.Intn(rows)), int32(rng.Intn(cols))
+			var v float64
+			switch rng.Intn(3) {
+			case 0: // plain add
+				v = float64(rng.Intn(9) - 4)
+			case 1: // exact cancellation of whatever is there now (deletion)
+				v = -want.At(int(r), int(c))
+			case 2: // add onto a fresh or existing cell with a dyadic value
+				v = float64(rng.Intn(16)) / 4
+			}
+			delta.Append(r, c, v)
+			want.Set(int(r), int(c), want.At(int(r), int(c))+v)
+		}
+		got := base.MergeCOO(delta)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: merged CSR invalid: %v", trial, err)
+		}
+		gd := got.ToDense()
+		for i := range want.Data {
+			if gd.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d: cell %d = %v, want %v", trial, i, gd.Data[i], want.Data[i])
+			}
+		}
+		// Deletion contract: no delta-touched cell survives with value zero.
+		for i := 0; i < rows; i++ {
+			for k := got.RowPtr[i]; k < got.RowPtr[i+1]; k++ {
+				if got.Val[k] == 0 && touchedBy(delta, int32(i), got.ColIdx[k]) {
+					t.Fatalf("trial %d: delta-touched zero cell (%d,%d) kept", trial, i, got.ColIdx[k])
+				}
+			}
+		}
+	}
+}
+
+func touchedBy(d *COO, r, c int32) bool {
+	for k := range d.Val {
+		if d.RowIdx[k] == r && d.ColIdx[k] == c {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMergeCOOUntouchedBitwise: rows the delta never touches must be
+// copied bit for bit, and an empty delta must reproduce the base exactly.
+func TestMergeCOOUntouchedBitwise(t *testing.T) {
+	base := Random(50, 60, 0.15, 9)
+	if got := base.MergeCOO(NewCOO(50, 60, 0)); !got.Equal(base) {
+		t.Fatal("empty delta changed the matrix")
+	}
+	delta := NewCOO(50, 60, 0)
+	delta.Append(10, 3, 1.5)
+	delta.Append(10, 59, -2)
+	got := base.MergeCOO(delta)
+	for i := 0; i < 50; i++ {
+		if i == 10 {
+			continue
+		}
+		bc, bv := base.Row(i)
+		gc, gv := got.Row(i)
+		if len(bc) != len(gc) {
+			t.Fatalf("untouched row %d changed length", i)
+		}
+		for k := range bc {
+			if bc[k] != gc[k] || bv[k] != gv[k] {
+				t.Fatalf("untouched row %d changed at %d", i, k)
+			}
+		}
+	}
+}
+
+// TestMergeCOOShapePanics: a mismatched overlay is a programmer error.
+func TestMergeCOOShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	Identity(4).MergeCOO(NewCOO(5, 4, 0))
+}
+
+// TestCompactSortedPrefixFastPath: a compacted log with appended tail must
+// keep the prefix in place (no re-sort of the whole log) and merge the
+// runs in append order. The behavioral pin: intermediate Compact calls
+// never change the final accumulated values versus one big Compact,
+// because duplicates always accumulate in global append order.
+func TestCompactSortedPrefixFastPath(t *testing.T) {
+	build := func(compactEvery int) *COO {
+		o := NewCOO(16, 16, 0)
+		rng := rand.New(rand.NewSource(7))
+		for e := 0; e < 300; e++ {
+			o.Append(int32(rng.Intn(16)), int32(rng.Intn(16)), float64(rng.Intn(32))/8)
+			if compactEvery > 0 && e%compactEvery == compactEvery-1 {
+				o.Compact()
+			}
+		}
+		o.Compact()
+		return o
+	}
+	once := build(0)
+	incremental := build(20)
+	if len(once.Val) != len(incremental.Val) {
+		t.Fatalf("nnz %d != %d", len(once.Val), len(incremental.Val))
+	}
+	for k := range once.Val {
+		if once.RowIdx[k] != incremental.RowIdx[k] || once.ColIdx[k] != incremental.ColIdx[k] ||
+			once.Val[k] != incremental.Val[k] {
+			t.Fatalf("entry %d differs: (%d,%d)=%v vs (%d,%d)=%v", k,
+				once.RowIdx[k], once.ColIdx[k], once.Val[k],
+				incremental.RowIdx[k], incremental.ColIdx[k], incremental.Val[k])
+		}
+	}
+	// Second Compact on a compacted log: pure scan, nothing merged.
+	if m := once.Compact(); m != 0 {
+		t.Fatalf("idempotence: second Compact merged %d", m)
+	}
+}

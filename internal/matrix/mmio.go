@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -16,6 +17,20 @@ import (
 
 // ErrMMFormat reports a malformed MatrixMarket stream.
 var ErrMMFormat = errors.New("matrix: invalid MatrixMarket input")
+
+// MMMaxDim caps the row and column counts ReadMatrixMarket accepts from a
+// size line. The CSR row-pointer array is allocated from the declared row
+// count alone, so an adversarial (or corrupt) header could otherwise
+// demand gigabytes before a single entry is read. The default admits any
+// SuiteSparse matrix; services parsing untrusted uploads should lower it
+// (the fuzz harness runs with a much smaller cap).
+var MMMaxDim = 1 << 28
+
+// mmPreallocCap bounds the entry storage preallocated from the declared
+// nnz. A header may declare billions of entries and then supply none;
+// beyond this cap the triplet arrays grow by append as entries actually
+// arrive, trading a few reallocations for a bounded up-front footprint.
+const mmPreallocCap = 1 << 20
 
 // ReadMatrixMarket parses a MatrixMarket coordinate stream into CSR.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
@@ -62,8 +77,18 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	if rows < 0 || cols < 0 || nnz < 0 {
 		return nil, fmt.Errorf("%w: negative size", ErrMMFormat)
 	}
+	if rows > MMMaxDim || cols > MMMaxDim || rows > math.MaxInt32 || cols > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: size %dx%d exceeds MMMaxDim %d", ErrMMFormat, rows, cols, MMMaxDim)
+	}
 
+	// Preallocation is capped, never trusted: the declared nnz (doubled for
+	// symmetric expansion) is only a hint, and a hint past the cap would
+	// let a short malicious header demand an unbounded allocation. The cap
+	// is applied before the doubling, which also forecloses int overflow.
 	capHint := nnz
+	if capHint > mmPreallocCap {
+		capHint = mmPreallocCap
+	}
 	if symmetry == "symmetric" {
 		capHint *= 2
 	}

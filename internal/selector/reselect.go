@@ -1,0 +1,31 @@
+package selector
+
+import (
+	"repro/internal/cache"
+	"repro/internal/formats"
+	"repro/internal/matrix"
+)
+
+// Reselect re-runs automatic format selection after structure drift: the
+// compactor of an updatable matrix folds its delta overlay into a fresh
+// CSR whose structure — and therefore best format — may differ from the
+// base it replaces. Every cached decision for the predecessor fingerprint
+// is invalidated first (all (device, k, shards) regimes at once; they all
+// ranked the dead structure), then BuildAuto selects for the successor
+// matrix. Returns the built choice and how many stale decisions were
+// dropped.
+//
+// The cheap-re-decision contract rides on the persistence layer: when the
+// successor structure has been seen before — a matrix compacting back to
+// a shape a prior process already probed, replayed from the journal — the
+// decision comes from the cache with zero micro-probes, exactly like any
+// warm restart.
+func Reselect(oldFingerprint uint64, m *matrix.CSR, o AutoOptions) (*formats.Auto, int, error) {
+	dc := o.Cache
+	if dc == nil {
+		dc = cache.Decisions
+	}
+	dropped := dc.InvalidateFingerprint(oldFingerprint)
+	f, err := BuildAuto(m, o)
+	return f, dropped, err
+}

@@ -1,0 +1,59 @@
+package selector
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/matrix"
+	"repro/internal/topo"
+)
+
+// TestReselectInvalidatesDriftedDecisions: after structure drift, Reselect
+// must drop every cached regime of the predecessor fingerprint and cache a
+// fresh decision for the successor.
+func TestReselectInvalidatesDriftedDecisions(t *testing.T) {
+	dc := cache.NewDecisionCache()
+	m1 := matrix.Random(300, 300, 0.05, 3)
+	a1, err := BuildAuto(m1, AutoOptions{Cache: dc, NoLearn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildAuto(m1, AutoOptions{K: 8, Cache: dc, NoLearn: true}); err != nil {
+		t.Fatal(err)
+	}
+	if dc.Len() != 2 {
+		t.Fatalf("cache holds %d decisions, want 2 (k=1 and k=8)", dc.Len())
+	}
+
+	// Drift: densify a band of rows, changing the structural fingerprint.
+	o := m1.ToCOO()
+	for r := int32(0); r < 40; r++ {
+		for c := int32(0); c < 200; c += 2 {
+			o.Append(r, c, 0.5)
+		}
+	}
+	m2 := o.ToCSR()
+	if m2.Fingerprint() == m1.Fingerprint() {
+		t.Fatal("drifted matrix kept its fingerprint; test is vacuous")
+	}
+
+	a2, dropped, err := Reselect(m1.Fingerprint(), m2, AutoOptions{Cache: dc, NoLearn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 2 {
+		t.Fatalf("Reselect dropped %d stale decisions, want 2", dropped)
+	}
+	oldKey := cache.DecisionKey{
+		Fingerprint: m1.Fingerprint(), Device: a1.Choice().Device, K: 1, Shards: topo.Shards(),
+	}
+	if _, ok := dc.Get(oldKey); ok {
+		t.Fatal("stale decision for the predecessor fingerprint still cached")
+	}
+	newKey := cache.DecisionKey{
+		Fingerprint: m2.Fingerprint(), Device: a2.Choice().Device, K: 1, Shards: topo.Shards(),
+	}
+	if d, ok := dc.Get(newKey); !ok || d.Format != a2.Chosen() {
+		t.Fatalf("successor decision not cached (ok=%v)", ok)
+	}
+}

@@ -1,0 +1,283 @@
+package update
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/formats"
+	"repro/internal/matrix"
+	"repro/internal/selector"
+)
+
+// Package-wide compaction trigger defaults; per-matrix overrides live in
+// Options.
+var (
+	thresholdMu     sync.Mutex
+	defMinCompact   = 8192
+	defCompactRatio = 0.05
+)
+
+// SetCompactionThreshold sets the process-wide default compaction
+// trigger: a background compaction starts once an Updatable's overlay
+// (frozen plus active log) holds at least max(min, ratio*base-nnz)
+// entries. Non-positive arguments keep the corresponding current value.
+// Returns the previous pair.
+func SetCompactionThreshold(min int, ratio float64) (int, float64) {
+	thresholdMu.Lock()
+	defer thresholdMu.Unlock()
+	pm, pr := defMinCompact, defCompactRatio
+	if min > 0 {
+		defMinCompact = min
+	}
+	if ratio > 0 {
+		defCompactRatio = ratio
+	}
+	return pm, pr
+}
+
+// CompactionThreshold returns the current process-wide defaults.
+func CompactionThreshold() (int, float64) {
+	thresholdMu.Lock()
+	defer thresholdMu.Unlock()
+	return defMinCompact, defCompactRatio
+}
+
+// overlayLen counts overlay entries: frozen plus the active log above the
+// snapshot floor.
+func (u *Updatable) overlayLen(s *snapshot) int {
+	n := int(u.alloc.Load() - s.floor)
+	if s.frozen != nil {
+		n += s.frozen.NNZ()
+	}
+	return n
+}
+
+// threshold resolves the effective trigger for this matrix.
+func (u *Updatable) threshold(baseNNZ int64) int {
+	min, ratio := u.opts.MinCompact, u.opts.CompactRatio
+	if min <= 0 || ratio <= 0 {
+		dm, dr := CompactionThreshold()
+		if min <= 0 {
+			min = dm
+		}
+		if ratio <= 0 {
+			ratio = dr
+		}
+	}
+	t := int(ratio * float64(baseNNZ))
+	if t < min {
+		t = min
+	}
+	return t
+}
+
+// maybeCompact kicks off one background compaction when the overlay has
+// crossed the trigger and none is already pending.
+func (u *Updatable) maybeCompact() {
+	s := u.snap.Load()
+	if u.overlayLen(s) < u.threshold(s.base.NNZ()) {
+		return
+	}
+	if !u.compactPending.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer u.compactPending.Store(false)
+		u.compactMu.Lock()
+		defer u.compactMu.Unlock()
+		s := u.snap.Load()
+		if u.overlayLen(s) < u.threshold(s.base.NNZ()) {
+			return // a concurrent explicit Compact already folded it
+		}
+		_ = u.compactOnce() // a failed rebuild keeps the frozen epoch; readers stay correct
+	}()
+}
+
+// Compact synchronously folds the entire overlay — frozen and active —
+// into a fresh base matrix, re-selects the base format, and publishes the
+// new epoch. Multiplies in flight finish on the old snapshot; new ones
+// see the compacted base immediately.
+func (u *Updatable) Compact() error {
+	u.compactMu.Lock()
+	defer u.compactMu.Unlock()
+	return u.compactOnce()
+}
+
+// compactOnce runs one freeze-then-rebuild cycle. Caller holds compactMu.
+//
+// Phase 1 (freeze) takes every shard lock — pausing writers for the gather,
+// never readers — moves the whole active log into the frozen overlay, and
+// bumps the floor to the allocation cut. Holding all shard locks makes the
+// cut exact: no writer can be between ticket allocation and view publish,
+// so every sequence number at or below the cut is in some view.
+//
+// Phase 2 (rebuild) runs without any lock: merge the frozen overlay into a
+// fresh CSR, re-select the base format (drift invalidation plus warm
+// journal reuse via selector.Reselect), and publish the new epoch. Readers
+// that loaded the frozen snapshot concurrently revalidate and retry.
+func (u *Updatable) compactOnce() error {
+	start := time.Now()
+	for i := range u.shards {
+		u.shards[i].mu.Lock()
+	}
+	s := u.snap.Load()
+	cut := u.alloc.Load()
+	frozenN := 0
+	if s.frozen != nil {
+		frozenN = s.frozen.NNZ()
+	}
+	active := 0
+	for i := range u.shards {
+		active += len(u.shards[i].view.Load().seq)
+	}
+	if frozenN+active == 0 {
+		for i := range u.shards {
+			u.shards[i].mu.Unlock()
+		}
+		return nil
+	}
+	o := matrix.NewCOO(s.baseCSR.Rows, s.baseCSR.Cols, frozenN+active)
+	if s.frozen != nil {
+		// The frozen overlay is already sorted and duplicate-free, so it
+		// forms the sorted prefix Compact's fast path scans over.
+		o.RowIdx = append(o.RowIdx, s.frozen.RowIdx...)
+		o.ColIdx = append(o.ColIdx, s.frozen.ColIdx...)
+		o.Val = append(o.Val, s.frozen.Val...)
+	}
+	for i := range u.shards {
+		vw := u.shards[i].view.Load()
+		o.RowIdx = append(o.RowIdx, vw.row...)
+		o.ColIdx = append(o.ColIdx, vw.col...)
+		o.Val = append(o.Val, vw.val...)
+	}
+	o.Compact()
+	// Drop net-zero cells: deletions and exact cancellations carry no
+	// information once folded, and keeping them would grow the overlay (and
+	// later the merged base) with dead storage.
+	w := 0
+	for i := range o.Val {
+		if o.Val[i] != 0 {
+			o.RowIdx[w], o.ColIdx[w], o.Val[w] = o.RowIdx[i], o.ColIdx[i], o.Val[i]
+			w++
+		}
+	}
+	o.RowIdx, o.ColIdx, o.Val = o.RowIdx[:w], o.ColIdx[:w], o.Val[:w]
+
+	frozen := &snapshot{
+		epoch:   s.epoch + 1,
+		base:    s.base,
+		baseCSR: s.baseCSR,
+		floor:   cut,
+	}
+	if o.NNZ() > 0 {
+		frozen.frozen = o
+		frozen.fdelta = formats.NewDeltaCOO(o)
+	}
+	u.snap.Store(frozen)
+	for i := range u.shards {
+		sh := &u.shards[i]
+		sh.view.Store(emptyView)
+		sh.net = make(map[cell]float64)
+		sh.mu.Unlock()
+	}
+	u.lastFreezeNs.Store(time.Since(start).Nanoseconds())
+
+	if u.rebuildHook != nil {
+		u.rebuildHook()
+	}
+	if frozen.frozen == nil {
+		// The overlay net-cancelled to nothing; the old base is still exact.
+		u.lastCompactNs.Store(time.Since(start).Nanoseconds())
+		return nil
+	}
+	merged := frozen.baseCSR.MergeCOO(frozen.frozen)
+	base, err := u.rebuildBase(merged, frozen.baseCSR.Fingerprint())
+	if err != nil {
+		return err
+	}
+	u.snap.Store(&snapshot{
+		epoch:   frozen.epoch + 1,
+		base:    base,
+		baseCSR: merged,
+		floor:   frozen.floor,
+	})
+	u.compactions.Add(1)
+	u.lastCompactNs.Store(time.Since(start).Nanoseconds())
+	return nil
+}
+
+// rebuildBase builds the next epoch's base format for the merged matrix.
+// A pinned format rebuilds as pinned (falling back to Naive-CSR when the
+// drifted structure no longer fits its build constraints); otherwise the
+// selector re-runs, invalidating the predecessor fingerprint's cached
+// decisions and reusing the journal for warm, zero-probe re-decisions.
+func (u *Updatable) rebuildBase(m *matrix.CSR, oldFP uint64) (formats.Format, error) {
+	if u.opts.Format != "" {
+		b, ok := formats.Lookup(u.opts.Format)
+		if !ok {
+			return nil, fmt.Errorf("update: unknown format %q", u.opts.Format)
+		}
+		f, err := b.Build(m)
+		if err == nil {
+			return f, nil
+		}
+		cb, ok := formats.Lookup("Naive-CSR")
+		if !ok {
+			return nil, err
+		}
+		return cb.Build(m)
+	}
+	a, _, err := selector.Reselect(oldFP, m, selector.AutoOptions{
+		K: u.opts.K, Probe: u.opts.Probe, Cache: u.opts.Cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Stats is a point-in-time view of an Updatable's internals.
+type Stats struct {
+	Epoch         uint64 // snapshot publishes since construction
+	BaseFormat    string // current base format name
+	BaseNNZ       int64  // stored entries in the base
+	FrozenLen     int    // entries in the frozen overlay
+	ActiveLen     int    // committed entries in the active log
+	Updates       uint64 // updates applied since construction
+	Compactions   uint64 // completed freeze+rebuild cycles
+	LastFreezeNs  int64  // duration writers were paused by the last freeze
+	LastCompactNs int64  // full duration of the last compaction
+}
+
+// Stats returns current counters and sizes.
+func (u *Updatable) Stats() Stats {
+	views := make([]*shardView, len(u.shards))
+	s, v := u.loadConsistent(views)
+	st := Stats{
+		Epoch:         s.epoch,
+		BaseFormat:    s.base.Name(),
+		BaseNNZ:       s.base.NNZ(),
+		Updates:       v,
+		Compactions:   u.compactions.Load(),
+		LastFreezeNs:  u.lastFreezeNs.Load(),
+		LastCompactNs: u.lastCompactNs.Load(),
+	}
+	if s.frozen != nil {
+		st.FrozenLen = s.frozen.NNZ()
+	}
+	for _, vw := range views {
+		lo, hi := viewRange(vw, s.floor, v)
+		st.ActiveLen += hi - lo
+	}
+	return st
+}
+
+// Epoch returns the current snapshot epoch.
+func (u *Updatable) Epoch() uint64 { return u.snap.Load().epoch }
+
+// Base returns the current base format.
+func (u *Updatable) Base() formats.Format { return u.snap.Load().base }
+
+// BaseMatrix returns the CSR the current base was built from.
+func (u *Updatable) BaseMatrix() *matrix.CSR { return u.snap.Load().baseCSR }

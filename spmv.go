@@ -42,6 +42,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/selector"
 	"repro/internal/simd"
+	"repro/internal/update"
 )
 
 // Core matrix types.
@@ -76,6 +77,13 @@ type (
 	// delegates every kernel to the chosen concrete format and carries the
 	// decision record (Chosen, Choice).
 	AutoFormat = formats.Auto
+	// Updatable is a concurrently updatable matrix: a read-optimized base
+	// format fused with a delta overlay (see NewUpdatable).
+	Updatable = update.Updatable
+	// UpdateOptions configures an Updatable.
+	UpdateOptions = update.Options
+	// UpdateStats is a point-in-time view of an Updatable's internals.
+	UpdateStats = update.Stats
 )
 
 // Extract measures the feature vector of a matrix.
@@ -167,6 +175,28 @@ func SetCacheDir(dir string) error {
 // closed and the directory override cleared. In-memory caches keep their
 // contents; nothing further touches disk.
 func UnsetCacheDir() { selector.Unpersist() }
+
+// NewUpdatable wraps a matrix in a concurrently updatable form: a
+// read-optimized base (chosen automatically, or pinned via
+// UpdateOptions.Format) plus a sharded delta log, multiplied together in
+// one fused pass. Set/Add/Delete never block multiplies; every multiply
+// observes a consistent prefix of the update order. When the overlay
+// crosses the compaction threshold, a background compactor folds it into
+// a fresh matrix, re-runs format selection (the decision journal makes
+// warm re-decisions zero-probe), and swaps epochs without stalling
+// readers. The result is a regular Format usable anywhere one is.
+//
+//	u, err := spmv.NewUpdatable(m, spmv.UpdateOptions{K: 8})
+//	u.Set(i, j, 3.5)  // concurrent with u.SpMVParallel(...)
+func NewUpdatable(m *Matrix, o UpdateOptions) (*Updatable, error) { return update.New(m, o) }
+
+// SetCompactionThreshold sets the process-wide default compaction trigger
+// for updatable matrices: a background compaction starts once an overlay
+// holds at least max(min, ratio*base-nnz) entries. Non-positive arguments
+// keep the corresponding current value; returns the previous pair.
+func SetCompactionThreshold(min int, ratio float64) (int, float64) {
+	return update.SetCompactionThreshold(min, ratio)
+}
 
 // FormatByName finds a format builder.
 func FormatByName(name string) (FormatBuilder, bool) { return formats.Lookup(name) }
