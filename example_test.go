@@ -1,6 +1,7 @@
 package spmv_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -158,7 +159,9 @@ func ExampleMultiplyMany() {
 		x[i] = float64(i%7) / 7
 	}
 	y := make([]float64, m.Rows*k)
-	spmv.MultiplyMany(f, y, x, k)
+	if err := spmv.MultiplyMany(f, y, x, k); err != nil {
+		panic(err)
+	}
 
 	// Reference: one SpMV per vector, gathered from the block layout.
 	xj := make([]float64, m.Cols)
@@ -177,6 +180,49 @@ func ExampleMultiplyMany() {
 		k, k, maxDiff < 1e-9)
 	// Output:
 	// fused 8-vector product matches 8 SpMV calls within 1e-9: true
+}
+
+// ExampleMultiplyCtx shows the cancellable facade: deadlines and
+// cancellation propagate into the execution engine, whose worker lanes
+// poll the context at partition-chunk granularity — an abandoned call
+// returns the context's error promptly instead of finishing its sweep,
+// and the engine keeps serving.
+func ExampleMultiplyCtx() {
+	m, err := spmv.Generate(spmv.GeneratorParams{
+		Rows: 2000, Cols: 2000,
+		AvgNNZPerRow: 8, StdNNZPerRow: 2,
+		SkewCoeff: 5, BWScaled: 0.2,
+		CrossRowSim: 0.5, AvgNumNeigh: 1.0, Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	b, _ := spmv.FormatByName("Naive-CSR")
+	f, err := b.Build(m)
+	if err != nil {
+		panic(err)
+	}
+	x := make([]float64, m.Cols)
+	y := make([]float64, m.Rows)
+
+	// A live context multiplies normally.
+	if err := spmv.MultiplyCtx(context.Background(), f, y, x); err != nil {
+		panic(err)
+	}
+
+	// A caller that gave up — here before the call even starts — gets the
+	// context's error back; y must be treated as garbage, and the engine
+	// is untouched.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = spmv.MultiplyCtx(ctx, f, y, x)
+	fmt.Println("cancelled call:", err)
+
+	// The next multiply on the same format succeeds.
+	fmt.Println("engine still serves:", spmv.MultiplyCtx(context.Background(), f, y, x) == nil)
+	// Output:
+	// cancelled call: context canceled
+	// engine still serves: true
 }
 
 // ExampleFormats lists the first of the registry's fourteen storage

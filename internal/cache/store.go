@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/failpoint"
 	"repro/internal/simd"
 )
 
@@ -205,6 +206,14 @@ type StoreStats struct {
 	Dead        int    // superseded lines awaiting compaction
 	Invalidated bool   // open discarded a journal from another schema/host
 	Skipped     int    // unparseable or foreign-version lines skipped at load
+
+	// Degraded reports that an I/O failure (ENOSPC, torn rename, flock
+	// error, unusable directory) switched the store to memory-only:
+	// decisions and experiences keep serving from memory, nothing further
+	// touches disk, and DegradedReason records the first failure. The
+	// journal file on disk is left as the last successful write shaped it.
+	Degraded       bool
+	DegradedReason string
 }
 
 // Store is an open journal: decisions and experiences loaded at Open time
@@ -239,21 +248,56 @@ type Store struct {
 	headerOK    bool // a valid local header already leads the file
 	invalidated bool
 	skipped     int
+
+	// degradedReason, when non-empty, records the first I/O failure that
+	// switched the store to memory-only (see StoreStats.Degraded). Sticky:
+	// a degraded store never touches disk again for its lifetime; the next
+	// process re-opens and re-journals what it re-measures.
+	degradedReason string
+}
+
+// degradeLocked switches the store to memory-only after an I/O failure:
+// the append handle closes, the first failure is recorded, and every
+// later append or compaction becomes a silent no-op while the in-memory
+// decision and experience state keeps serving. Persistence is an
+// accelerator — a full disk, a torn rename, or a broken lock must cost
+// the journal, never a Build or a multiply. Callers hold s.mu.
+func (s *Store) degradeLocked(op string, err error) {
+	if s.degradedReason != "" {
+		return
+	}
+	s.degradedReason = fmt.Sprintf("%s: %v", op, err)
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// Degraded reports whether an I/O failure switched the store to
+// memory-only, and the recorded reason.
+func (s *Store) Degraded() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degradedReason != "", s.degradedReason
 }
 
 // Open opens (creating if needed) the journal in dir, loads every record it
 // can parse, and leaves the file positioned for appends. The load is
 // corruption-tolerant: bad lines are skipped, a schema or host-fingerprint
-// mismatch discards the journal's contents and starts it fresh. Open fails
-// only when the directory or file itself is unusable.
+// mismatch discards the journal's contents and starts it fresh. Open never
+// fails: an unusable directory or journal file returns a memory-only store
+// whose Stats record the DegradedReason — selection keeps its in-process
+// cache and loses only persistence. The error return is kept for
+// compatibility and is always nil.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("cache: create dir: %w", err)
-	}
 	path := filepath.Join(dir, journalName)
 	s := &Store{
 		path:      path,
 		decisions: make(map[DecisionKey]Decision),
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.degradeLocked("create dir", err)
+		return s, nil
 	}
 	// Best-effort cross-process lock: held across the load and the initial
 	// header/compaction so Open never reads a half-compacted journal from a
@@ -262,10 +306,16 @@ func Open(dir string) (*Store, error) {
 	unlock := s.flock()
 	defer unlock()
 	s.load(path)
+	if s.degradedReason != "" {
+		// The flock failed: what was loaded serves from memory, but this
+		// store must not mutate a journal it cannot serialize access to.
+		return s, nil
+	}
 
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("cache: open journal: %w", err)
+		s.degradeLocked("open journal", err)
+		return s, nil
 	}
 	s.f = f
 	if s.invalidated {
@@ -275,15 +325,8 @@ func Open(dir string) (*Store, error) {
 		// readers, the select experiment's restart simulation) must never
 		// rename the file out from under the owning appender — dead-weight
 		// compaction runs on append, where the owner holds the pen.
-		if err := s.compactLocked(); err != nil && s.f == nil {
-			// The rename succeeded but the reopen failed: retry once so
-			// appends are not silently dropped for the process lifetime.
-			// (On earlier failures compactLocked leaves the original handle
-			// in place and appends keep working on the old file.)
-			if nf, err2 := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err2 == nil {
-				s.f = nf
-			}
-		}
+		// A failed rewrite degrades the store (inside compactLocked).
+		_ = s.compactLocked()
 	} else if !s.headerOK {
 		// Fresh journal: pin schema and host before the first record.
 		s.appendLocked(record{V: SchemaVersion, Kind: "header", Schema: SchemaVersion, Host: HostFingerprint()})
@@ -450,9 +493,10 @@ func (s *Store) AppendExperience(e Experience) {
 	}
 }
 
-// appendLocked writes one record as a single JSONL line. Errors are
-// swallowed by design: persistence is an accelerator, and a full disk must
-// not fail a Build. Callers hold s.mu.
+// appendLocked writes one record as a single JSONL line. A write failure
+// (ENOSPC, closed filesystem, injected fault) never propagates: persistence
+// is an accelerator, and a full disk must not fail a Build — the store
+// degrades to memory-only instead, recording the reason. Callers hold s.mu.
 func (s *Store) appendLocked(r record) {
 	if s.f == nil {
 		return
@@ -464,11 +508,20 @@ func (s *Store) appendLocked(r record) {
 	b = append(b, '\n')
 	unlock := s.flock()
 	defer unlock()
+	if s.f == nil {
+		return // a flock failure degraded the store mid-call
+	}
+	if err := failpoint.Inject("cache.append"); err != nil {
+		s.degradeLocked("append", err)
+		return
+	}
 	s.refreshHandleLocked()
-	if _, err := s.f.Write(b); err == nil {
-		if r.Kind != "header" {
-			s.appended++
-		}
+	if _, err := s.f.Write(b); err != nil {
+		s.degradeLocked("append", err)
+		return
+	}
+	if r.Kind != "header" {
+		s.appended++
 	}
 }
 
@@ -476,9 +529,21 @@ func (s *Store) appendLocked(r record) {
 // returns its release func. flock on an already-held descriptor is a
 // harmless no-op conversion, so nested acquisitions (Open's header write,
 // AppendExperience's auto-compaction) are safe — the inner release just
-// drops the lock a little early. Callers hold s.mu.
+// drops the lock a little early. An flock *error* (not mere absence of the
+// lock file) means journal mutation can no longer be serialized against
+// other processes, so the store stops mutating the journal: it degrades to
+// memory-only rather than risk interleaving a compaction with a foreign
+// writer. Callers hold s.mu.
 func (s *Store) flock() func() {
-	if s.lock == nil || flockExclusive(s.lock) != nil {
+	if s.lock == nil {
+		return func() {}
+	}
+	err := failpoint.Inject("cache.flock")
+	if err == nil {
+		err = flockExclusive(s.lock)
+	}
+	if err != nil {
+		s.degradeLocked("flock", err)
 		return func() {}
 	}
 	return func() { flockUnlock(s.lock) }
@@ -507,16 +572,34 @@ func (s *Store) refreshHandleLocked() {
 // Compact rewrites the journal to hold exactly the live records: a fresh
 // header, every current decision, every retained experience. The rewrite is
 // atomic (temp file + rename), so a crash mid-compaction leaves the old
-// journal intact.
+// journal intact. A failed compaction degrades the store to memory-only
+// (the on-disk journal stays as the last successful write left it); on a
+// store already degraded Compact is a no-op.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.compactLocked()
 }
 
+// compactLocked runs the rewrite and folds any failure into degradation.
+// Callers hold s.mu.
 func (s *Store) compactLocked() error {
+	if s.f == nil {
+		return nil // memory-only: nothing on disk this store may rewrite
+	}
+	if err := s.rewriteLocked(); err != nil {
+		s.degradeLocked("compact", err)
+		return err
+	}
+	return nil
+}
+
+func (s *Store) rewriteLocked() error {
 	unlock := s.flock()
 	defer unlock()
+	if s.f == nil {
+		return nil // a flock failure degraded the store mid-call
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(s.path), journalName+".tmp*")
 	if err != nil {
 		return err
@@ -565,6 +648,12 @@ func (s *Store) compactLocked() error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
+	// Torn-rename injection point: the temp file is complete and synced,
+	// the rename never happens. The defer above removes the temp; the old
+	// journal stays intact on disk.
+	if err := failpoint.Inject("cache.rename"); err != nil {
+		return err
+	}
 	if err := os.Rename(tmp.Name(), s.path); err != nil {
 		return err
 	}
@@ -590,13 +679,15 @@ func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return StoreStats{
-		Path:        s.path,
-		Decisions:   s.loadedDec,
-		Experiences: s.loadedExp,
-		Appended:    s.appended,
-		Dead:        s.dead,
-		Invalidated: s.invalidated,
-		Skipped:     s.skipped,
+		Path:           s.path,
+		Decisions:      s.loadedDec,
+		Experiences:    s.loadedExp,
+		Appended:       s.appended,
+		Dead:           s.dead,
+		Invalidated:    s.invalidated,
+		Skipped:        s.skipped,
+		Degraded:       s.degradedReason != "",
+		DegradedReason: s.degradedReason,
 	}
 }
 

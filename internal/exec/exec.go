@@ -50,8 +50,11 @@ package exec
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/failpoint"
 )
 
 // MinGrain is the minimum number of work items (nonzeros, padded slots)
@@ -113,6 +116,11 @@ type Pool struct {
 	work    func(w int)
 	wake    []chan int    // wake[i] carries the shard id worker i runs
 	done    chan struct{} // one token per completed shard
+	// panicked holds the first contained lane panic of the in-flight
+	// dispatch: workers recover (so they survive and deliver their done
+	// token) and the dispatcher resurfaces the panic on the calling
+	// goroutine once the pool is consistent again.
+	panicked panicSlot
 }
 
 // NewPool returns a pool with the given number of parked workers (the
@@ -161,9 +169,26 @@ func (p *Pool) worker(wake <-chan int) {
 		p.pin()
 	}
 	for id := range wake {
-		p.work(id)
+		p.runShard(id)
 		p.done <- struct{}{}
 	}
+}
+
+// runShard executes one shard id with panic containment: a panicking
+// kernel must not kill the worker goroutine (which would wedge the pool —
+// its done token would never arrive) or the process. The recovered panic
+// is parked on the pool and resurfaces on the dispatching goroutine once
+// every lane of the call has completed.
+func (p *Pool) runShard(id int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicked.record(id, r, debug.Stack())
+		}
+	}()
+	if err := failpoint.Inject("exec.worker"); err != nil {
+		panic(err)
+	}
+	p.work(id)
 }
 
 // Run invokes f(0..n-1) and waits for completion. Shard 0 runs on the
@@ -184,26 +209,39 @@ func (p *Pool) Run(n int, f func(w int)) {
 }
 
 // runLocked executes f(0..n-1) on the pool's parked workers plus the
-// calling goroutine. The caller must hold p.mu; runLocked releases it.
+// calling goroutine, re-panicking any contained worker panic on the
+// caller. The caller must hold p.mu; runLocked releases it.
 func (p *Pool) runLocked(n int, f func(w int)) {
+	if pe := p.runLockedE(n, f); pe != nil {
+		panic(pe)
+	}
+}
+
+// runLockedE is runLocked returning a contained worker-lane panic instead
+// of re-panicking, for dispatchers (RunCtx) that report it as an error.
+// Panics on the calling goroutine's own lanes propagate unchanged either
+// way. The caller must hold p.mu; runLockedE releases it.
+func (p *Pool) runLockedE(n int, f func(w int)) (pe *PanicError) {
 	if p.closed {
 		// A Run or reshard raced a Close: a closed pool must never restart
 		// its workers (they would be orphaned forever), so fall back to
 		// spawning.
 		p.mu.Unlock()
-		spawnRun(n, f)
-		return
+		return spawnRunE(n, f)
 	}
 	extra := 0
 	defer func() {
 		// Draining in a defer keeps the pool consistent even when a shard
 		// run on the calling goroutine panics: every woken worker's done
 		// token is consumed before the pool unlocks, so stale tokens can
-		// never satisfy a later Run's wait.
+		// never satisfy a later Run's wait. The contained-panic slot is
+		// harvested before unlocking for the same reason — a later dispatch
+		// must never observe this call's fault.
 		for i := 0; i < extra; i++ {
 			<-p.done
 		}
 		p.work = nil
+		pe = p.panicked.take()
 		p.mu.Unlock()
 	}()
 	p.ensureStarted()
@@ -218,6 +256,7 @@ func (p *Pool) runLocked(n int, f func(w int)) {
 	for w := extra + 1; w < n; w++ {
 		f(w)
 	}
+	return
 }
 
 // dispatch wakes up to max (capped at the pool size) workers with the
@@ -241,14 +280,18 @@ func (p *Pool) dispatch(f func(w int), lo, max int) int {
 	return k
 }
 
-// drain consumes k done tokens (matching a prior dispatch) and releases
-// the pool.
-func (p *Pool) drain(k int) {
+// drain consumes k done tokens (matching a prior dispatch), releases the
+// pool, and returns any contained worker-lane panic from the dispatch.
+// The slot is harvested before unlocking so a later dispatch on this pool
+// can never observe this call's fault.
+func (p *Pool) drain(k int) *PanicError {
 	for i := 0; i < k; i++ {
 		<-p.done
 	}
 	p.work = nil
+	pe := p.panicked.take()
 	p.mu.Unlock()
+	return pe
 }
 
 // Prestart spins up the parked workers without running work, so the first
@@ -296,16 +339,36 @@ var spawnFallbacks atomic.Uint64
 // fallback dispatches.
 func SpawnFallbacks() uint64 { return spawnFallbacks.Load() }
 
-// spawnRun is the seed-era fallback: one fresh goroutine per shard.
+// spawnRun is the seed-era fallback: one fresh goroutine per shard. A
+// contained goroutine panic re-panics on the caller, matching pool
+// dispatch semantics.
 func spawnRun(n int, f func(w int)) {
+	if pe := spawnRunE(n, f); pe != nil {
+		panic(pe)
+	}
+}
+
+// spawnRunE runs the spawned fallback and returns a contained goroutine
+// panic instead of letting it kill the process. The caller's own lane
+// (shard 0) panics through unchanged — but only after every spawned
+// goroutine has finished, so no goroutine outlives its dispatch.
+func spawnRunE(n int, f func(w int)) *PanicError {
+	var ps panicSlot
 	var wg sync.WaitGroup
+	defer wg.Wait()
 	wg.Add(n - 1)
 	for w := 1; w < n; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					ps.record(w, r, debug.Stack())
+				}
+			}()
 			f(w)
 		}(w)
 	}
 	f(0)
 	wg.Wait()
+	return ps.take()
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -135,9 +136,16 @@ func shardPoolSize(cpus, shards int) int {
 type Grant struct {
 	workers int
 	shardID int
-	np      int // pools acquired; 0 = spawn fallback
+	np      int  // pools acquired; 0 = spawn fallback
+	ctl     *Ctl // cancellation control for Ctx dispatches; nil = uncancellable
 	pools   [maxGang]*shard
 }
+
+// Ctl returns the grant's cancellation control (nil for uncancellable
+// grants). Kernels poll g.Ctl().Cancelled() at chunk granularity inside
+// their partition loops; the nil receiver is valid and always reports
+// false, so uncancellable kernels share the same code path.
+func (g *Grant) Ctl() *Ctl { return g.ctl }
 
 // Key returns the plan-cache key for this grant's placement.
 func (g *Grant) Key() PlanKey {
@@ -223,23 +231,93 @@ func (e *Engine) Acquire(workers int) Grant {
 	return g
 }
 
+// AcquireCtl is Acquire for a cancellable dispatch: the returned grant
+// carries ctl, which the Ctx run methods and chunk-polling kernels consult.
+// A nil ctl yields a grant identical to Acquire's.
+func (e *Engine) AcquireCtl(workers int, ctl *Ctl) Grant {
+	g := e.Acquire(workers)
+	g.ctl = ctl
+	return g
+}
+
 // Run executes f(0..n-1) on the granted resources, waits for completion,
 // and releases every acquired shard. n at most g.workers; fewer (a
 // partition that collapsed ranges) is fine. Run consumes the grant: a
 // deferred Release afterwards is a no-op. Ganged dispatches block ids
 // arithmetically; kernels whose plan carries a per-domain offset table
 // should use RunPlan so collapsed partitions stay on their own domain.
+//
+// A panic on a worker lane is contained by the engine (the shard stays
+// serviceable) and re-panics here with a *PanicError value; a panic on the
+// caller's own lane propagates unchanged. Callers that want an error
+// instead use RunCtx.
 func (g *Grant) Run(n int, f func(w int)) {
-	g.run(n, nil, f)
+	if pe := g.runE(n, nil, f); pe != nil {
+		panic(pe)
+	}
 }
 
 // RunPlan executes f over a range-partitioned plan: f(0..len(pl.Ranges)-1),
 // with ganged dispatches blocked by the plan's DomainOff table when present
 // — range ids [DomainOff[j], DomainOff[j+1]) run on the j-th enlisted
 // shard, exactly the domain the plan builder assigned them to. Like Run it
-// waits, releases every acquired shard, and consumes the grant.
+// waits, releases every acquired shard, and consumes the grant. Panic
+// semantics match Run.
 func (g *Grant) RunPlan(pl *Plan, f func(w int)) {
-	g.run(len(pl.Ranges), pl.DomainOff, f)
+	if pe := g.runE(len(pl.Ranges), pl.DomainOff, f); pe != nil {
+		panic(pe)
+	}
+}
+
+// RunCtx is the cancellable, fault-isolated Run: it executes f(0..n-1),
+// skips lanes that start after the grant's Ctl is cancelled, converts any
+// lane panic (caller lane included) into a *PanicError return, and reports
+// the context's error when the call was cancelled. Kernels bound the
+// cancellation latency by polling g.Ctl().Cancelled() between chunks of
+// their assigned range; RunCtx itself guarantees only that un-started
+// lanes never begin. The shard remains serviceable after any failure.
+func (g *Grant) RunCtx(n int, f func(w int)) error {
+	return g.runCtx(n, nil, f)
+}
+
+// RunPlanCtx is RunPlan with RunCtx's cancellation and panic-to-error
+// semantics.
+func (g *Grant) RunPlanCtx(pl *Plan, f func(w int)) error {
+	return g.runCtx(len(pl.Ranges), pl.DomainOff, f)
+}
+
+// runCtx wraps every lane of a dispatch with a cancellation gate and a
+// panic trap, then reports the first fault as an error: a lane panic wins
+// over plain cancellation (the panic is the root cause — it also poisons
+// the Ctl so sibling lanes stop at their next chunk boundary), and a
+// cancelled call reports the context's own error (context.Canceled or
+// DeadlineExceeded).
+func (g *Grant) runCtx(n int, off []int, f func(w int)) error {
+	ctl := g.ctl
+	var ps panicSlot
+	wf := func(w int) {
+		defer func() {
+			if r := recover(); r != nil {
+				ps.record(w, r, debug.Stack())
+				ctl.poison()
+			}
+		}()
+		if ctl.Cancelled() {
+			return
+		}
+		f(w)
+	}
+	pe := g.runE(n, off, wf)
+	if pe == nil {
+		pe = ps.take()
+	}
+	if pe != nil {
+		return pe
+	}
+	if err := ctl.Err(); err != nil && ctl.Cancelled() {
+		return err
+	}
+	return nil
 }
 
 // gangBlocks fills blk[0..nb] with the worker-id block bounds per enlisted
@@ -270,19 +348,23 @@ func gangBlocks(np, workers, n int, off []int, blk *[maxGang + 1]int) int {
 	return np
 }
 
-// run is the shared implementation of Run and RunPlan; off is the plan's
-// per-domain offset table or nil for arithmetic gang blocks.
-func (g *Grant) run(n int, off []int, f func(w int)) {
+// runE is the shared implementation of every Run variant; off is the
+// plan's per-domain offset table or nil for arithmetic gang blocks. It
+// returns the first contained panic from a worker lane (pool worker or
+// spawned overflow goroutine) — the callers decide whether that re-panics
+// (Run/RunPlan) or becomes an error (RunCtx/RunPlanCtx). A panic on the
+// caller's own lane unwinds through runE; the defers still drain every
+// woken worker and release every pool, so the engine survives that too.
+func (g *Grant) runE(n int, off []int, f func(w int)) (pe *PanicError) {
 	np := g.np
 	g.np = 0 // consumed; Release becomes a no-op
 	if np == 0 {
 		if n <= 1 {
 			f(0)
-			return
+			return nil
 		}
 		spawnFallbacks.Add(1)
-		spawnRun(n, f)
-		return
+		return spawnRunE(n, f)
 	}
 	if n <= 1 {
 		// A collapsed partition: the shards were held but no workers run.
@@ -293,7 +375,7 @@ func (g *Grant) run(n int, off []int, f func(w int)) {
 			g.pools[j].runs.Add(1)
 		}
 		f(0)
-		return
+		return nil
 	}
 	if np == 1 {
 		s := g.pools[0]
@@ -303,6 +385,7 @@ func (g *Grant) run(n int, off []int, f func(w int)) {
 			// busy: spawn the overflow ids so they run concurrently instead
 			// of serializing on the caller after its own lane (PR 1 spawned
 			// the whole call in this situation).
+			var ps panicSlot // contained panics from the overflow goroutines
 			var wg sync.WaitGroup
 			// Wait again in a defer: if a pooled lane panics, the spawned
 			// goroutines must not be left writing y while the caller
@@ -312,17 +395,25 @@ func (g *Grant) run(n int, off []int, f func(w int)) {
 			for w := lanes; w < n; w++ {
 				go func(w int) {
 					defer wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							ps.record(w, r, debug.Stack())
+						}
+					}()
 					f(w)
 				}(w)
 			}
-			s.pool.runLocked(lanes, f)
+			pe = s.pool.runLockedE(lanes, f)
 			wg.Wait()
+			if pe == nil {
+				pe = ps.take()
+			}
 		} else {
-			s.pool.runLocked(n, f)
+			pe = s.pool.runLockedE(n, f)
 		}
 		s.busy.Add(int64(time.Since(t0)))
 		s.runs.Add(1)
-		return
+		return pe
 	}
 	// Ganged dispatch: shard j's workers take the consecutive id block
 	// gangBlocks assigns them — the plan's own per-domain range group when
@@ -336,14 +427,22 @@ func (g *Grant) run(n int, off []int, f func(w int)) {
 	var blk [maxGang + 1]int
 	nb := gangBlocks(np, g.workers, n, off, &blk)
 	t0 := time.Now()
+	var ps panicSlot // contained panics from spawned overflow goroutines
 	var woken [maxGang]int
 	defer func() {
 		// Drain in a defer so a panicking caller shard still consumes every
-		// done token before the pools unlock.
+		// done token before the pools unlock. Each drain harvests that
+		// pool's contained-panic slot; the first fault across the gang (and
+		// the overflow spawns) is the one reported.
 		for j := 0; j < np; j++ {
 			s := g.pools[j]
-			s.pool.drain(woken[j])
+			if p := s.pool.drain(woken[j]); pe == nil {
+				pe = p
+			}
 			s.gangRuns.Add(1)
+		}
+		if pe == nil {
+			pe = ps.take()
 		}
 		d := int64(time.Since(t0))
 		for j := 0; j < np; j++ {
@@ -371,12 +470,18 @@ func (g *Grant) run(n int, off []int, f func(w int)) {
 			spawned.Add(1)
 			go func(v int) {
 				defer spawned.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						ps.record(v, r, debug.Stack())
+					}
+				}()
 				f(v)
 			}(v)
 		}
 	}
 	f(0)
 	spawned.Wait()
+	return
 }
 
 // Release frees a grant's shards without running work. It is a no-op after
@@ -440,6 +545,10 @@ var defaultEngine Engine
 // Acquire claims resources for a workers-wide dispatch on the process-wide
 // engine.
 func Acquire(workers int) Grant { return defaultEngine.Acquire(workers) }
+
+// AcquireCtl claims resources for a cancellable workers-wide dispatch on
+// the process-wide engine.
+func AcquireCtl(workers int, ctl *Ctl) Grant { return defaultEngine.AcquireCtl(workers, ctl) }
 
 // Run executes f(0..n-1) on the process-wide engine and waits.
 func Run(n int, f func(w int)) {

@@ -1,0 +1,361 @@
+package formats
+
+import (
+	"context"
+
+	"repro/internal/exec"
+	"repro/internal/sched"
+)
+
+// cancelGrain is the approximate number of work items (nonzeros / padded
+// slots, times the RHS count k) a lane processes between cancellation
+// polls on the Ctx kernel paths. At typical SpMV rates of a few items per
+// nanosecond, 1<<18 items bounds the poll interval — and therefore the
+// cancellation latency — around a hundred microseconds per lane, while
+// keeping the poll itself (one atomic load) far below measurement noise.
+const cancelGrain = 1 << 18
+
+// ctxGrain scales the per-poll chunk to the RHS count: a fused k-wide
+// kernel does k times the work per matrix item, so the chunk shrinks to
+// keep the wall-clock poll interval flat. The floor keeps degenerate k
+// from turning the chunk loop itself into overhead.
+func ctxGrain(k int) int64 {
+	g := int64(cancelGrain) / int64(k)
+	if g < exec.MinGrain {
+		g = exec.MinGrain
+	}
+	return g
+}
+
+// chunkCtx invokes kern over [lo, hi) in sub-ranges of roughly grain work
+// items, polling ctl for cancellation between sub-ranges. cum(i) is any
+// monotone cumulative work measure — CSR passes its row pointer, ELL
+// rows-times-width, SELL-C-s its chunk pointer — evaluated once per
+// sub-range boundary, never in kernel inner loops. A nil ctl runs [lo, hi)
+// in one call: the uncancellable path pays nothing.
+func chunkCtx(ctl *exec.Ctl, lo, hi int, grain int64, cum func(i int) int64, kern func(lo, hi int)) {
+	if ctl == nil {
+		kern(lo, hi)
+		return
+	}
+	for lo < hi {
+		if ctl.Cancelled() {
+			return
+		}
+		end := lo + 1
+		start := cum(lo)
+		for end < hi && cum(end)-start < grain {
+			end++
+		}
+		kern(lo, end)
+		lo = end
+	}
+}
+
+// ctlErr reports the outcome of a serial chunked sweep: the context's
+// error when the sweep stopped on cancellation, nil when it ran to
+// completion (including on a nil ctl).
+func ctlErr(ctl *exec.Ctl) error {
+	if ctl.Cancelled() {
+		return ctl.Err()
+	}
+	return nil
+}
+
+// ContextFormat is implemented by formats whose kernels natively honor a
+// context: lanes poll cancellation at chunk granularity (see cancelGrain),
+// so a cancelled call returns within a bounded latency instead of
+// finishing its sweep. The CSR family, ELL and SELL-C-s implement it; the
+// package-level SpMVCtx / MultiplyManyCtx helpers give every other format
+// a documented run-to-completion fallback.
+type ContextFormat interface {
+	Format
+	// SpMVCtx computes y = A*x in parallel under ctx. A cancelled or
+	// expired context makes it return the context's error; y then holds a
+	// partial result and must not be used.
+	SpMVCtx(ctx context.Context, x, y []float64, workers int) error
+	// MultiplyManyCtx computes Y = A*X for k right-hand sides under ctx,
+	// with the same partial-result contract.
+	MultiplyManyCtx(ctx context.Context, y, x []float64, k int) error
+}
+
+// SpMVCtx computes y = A*x under ctx for any format. Formats implementing
+// ContextFormat stop at their next chunk boundary after cancellation;
+// other formats check the context once before dispatch and then run their
+// sweep to completion, so cancellation latency degrades to the sweep time
+// but the result and error contract stay identical. In both cases a panic
+// on a parallel worker lane is contained by the engine and returned as a
+// *exec.PanicError instead of crashing the process.
+func SpMVCtx(ctx context.Context, f Format, x, y []float64, workers int) error {
+	if cf, ok := f.(ContextFormat); ok {
+		return contain(func() error { return cf.SpMVCtx(ctx, x, y, workers) })
+	}
+	if ctl := exec.NewCtl(ctx); ctl.Cancelled() {
+		return ctl.Err()
+	}
+	return contain(func() error { f.SpMVParallel(x, y, workers); return nil })
+}
+
+// MultiplyManyCtx computes Y = A*X for k right-hand sides under ctx for
+// any format, with SpMVCtx's fallback and containment semantics.
+func MultiplyManyCtx(ctx context.Context, f Format, y, x []float64, k int) error {
+	if cf, ok := f.(ContextFormat); ok {
+		return contain(func() error { return cf.MultiplyManyCtx(ctx, y, x, k) })
+	}
+	if ctl := exec.NewCtl(ctx); ctl.Cancelled() {
+		return ctl.Err()
+	}
+	return contain(func() error { f.MultiplyMany(y, x, k); return nil })
+}
+
+// contain runs one dispatch and converts an engine-contained lane panic
+// (re-panicked as *exec.PanicError by the legacy Run entry points) into an
+// error, so the Ctx API never panics for worker faults. Other panics —
+// shape-check programmer errors — propagate unchanged.
+func contain(run func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*exec.PanicError)
+			if !ok {
+				panic(r)
+			}
+			err = pe
+		}
+	}()
+	return run()
+}
+
+// --- CSR family ---
+
+// rowCum is the CSR cumulative work measure: nonzeros plus a row visit
+// each, matching work().
+func (f *CSR) rowCum(i int) int64 { return int64(f.rowPtr[i]) + int64(i) }
+
+// SpMVCtx implements ContextFormat.
+func (f *CSR) SpMVCtx(ctx context.Context, x, y []float64, workers int) error {
+	checkShape(f.Name(), f.rows, f.cols, x, y)
+	return f.spmvCtx(ctx, x, y, workers, sched.RowBlocks, func(lo, hi int) {
+		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, lo, hi)
+	})
+}
+
+// spmvCtx dispatches a chunk-polling single-vector sweep under the given
+// partition policy; the CSR variants reuse it with their own kernels.
+func (f *CSR) spmvCtx(ctx context.Context, x, y []float64, workers int, policy sched.Partitioner, kern func(lo, hi int)) error {
+	ctl := exec.NewCtl(ctx)
+	workers = exec.Workers(f.work(), workers)
+	if workers <= 1 {
+		chunkCtx(ctl, 0, f.rows, ctxGrain(1), f.rowCum, kern)
+		return ctlErr(ctl)
+	}
+	g := exec.AcquireCtl(workers, ctl)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.rangePlan(&g, policy)
+	ranges := pl.Ranges
+	return g.RunPlanCtx(pl, func(w int) {
+		chunkCtx(ctl, ranges[w].RowLo, ranges[w].RowHi, ctxGrain(1), f.rowCum, kern)
+	})
+}
+
+// MultiplyManyCtx implements ContextFormat.
+func (f *CSR) MultiplyManyCtx(ctx context.Context, y, x []float64, k int) error {
+	checkShapeMulti(f.Name(), f.rows, f.cols, y, x, k)
+	return f.multiplyManyCtx(ctx, y, x, k, sched.RowBlocks)
+}
+
+// multiplyManyCtx dispatches the chunk-polling fused kernel under the
+// given partition policy; Bal-CSR and MKL-IE reuse it with their splits.
+func (f *CSR) multiplyManyCtx(ctx context.Context, y, x []float64, k int, policy sched.Partitioner) error {
+	ctl := exec.NewCtl(ctx)
+	workers := exec.Workers(f.work()*int64(k), exec.MaxWorkers())
+	kern := func(lo, hi int) {
+		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, lo, hi)
+	}
+	if workers <= 1 {
+		chunkCtx(ctl, 0, f.rows, ctxGrain(k), f.rowCum, kern)
+		return ctlErr(ctl)
+	}
+	g := exec.AcquireCtl(workers, ctl)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.rangePlan(&g, policy)
+	ranges := pl.Ranges
+	return g.RunPlanCtx(pl, func(w int) {
+		chunkCtx(ctl, ranges[w].RowLo, ranges[w].RowHi, ctxGrain(k), f.rowCum, kern)
+	})
+}
+
+// SpMVCtx implements ContextFormat with the unrolled kernel.
+func (f *VecCSR) SpMVCtx(ctx context.Context, x, y []float64, workers int) error {
+	checkShape(f.Name(), f.rows, f.cols, x, y)
+	return f.spmvCtx(ctx, x, y, workers, sched.RowBlocks, func(lo, hi int) {
+		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, lo, hi)
+	})
+}
+
+// SpMVCtx implements ContextFormat over nonzero-balanced blocks.
+func (f *BalCSR) SpMVCtx(ctx context.Context, x, y []float64, workers int) error {
+	checkShape(f.Name(), f.rows, f.cols, x, y)
+	return f.spmvCtx(ctx, x, y, workers, sched.NNZBalanced, func(lo, hi int) {
+		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, lo, hi)
+	})
+}
+
+// MultiplyManyCtx implements ContextFormat over nonzero-balanced blocks.
+func (f *BalCSR) MultiplyManyCtx(ctx context.Context, y, x []float64, k int) error {
+	checkShapeMulti(f.Name(), f.rows, f.cols, y, x, k)
+	return f.multiplyManyCtx(ctx, y, x, k, sched.NNZBalanced)
+}
+
+// SpMVCtx implements ContextFormat under the inspected execution strategy.
+func (f *InspectorCSR) SpMVCtx(ctx context.Context, x, y []float64, workers int) error {
+	checkShape(f.Name(), f.rows, f.cols, x, y)
+	return f.spmvCtx(ctx, x, y, workers, f.policy(), func(lo, hi int) {
+		f.rowRange(x, y, lo, hi)
+	})
+}
+
+// MultiplyManyCtx implements ContextFormat under the inspected partition.
+func (f *InspectorCSR) MultiplyManyCtx(ctx context.Context, y, x []float64, k int) error {
+	checkShapeMulti(f.Name(), f.rows, f.cols, y, x, k)
+	return f.multiplyManyCtx(ctx, y, x, k, f.policy())
+}
+
+// SpMVCtx overrides the implementation promoted from the embedded CSR:
+// Merge-CSR's plan cache holds merge-path item ranges (with carry scratch)
+// under the very PlanKeys the inherited chunked row sweep would probe, so
+// running it would misread those ranges as row bounds. Until a native
+// merge-path Ctx kernel exists, Merge-CSR takes the documented
+// run-to-completion fallback: cancellation is checked before dispatch
+// only.
+func (f *MergeCSR) SpMVCtx(ctx context.Context, x, y []float64, workers int) error {
+	if ctl := exec.NewCtl(ctx); ctl.Cancelled() {
+		return ctl.Err()
+	}
+	f.SpMVParallel(x, y, workers)
+	return nil
+}
+
+// MultiplyManyCtx overrides the promoted CSR implementation for the same
+// plan-cache reason as SpMVCtx (the fused path keeps its ranges in a
+// second cache the inherited sweep does not use).
+func (f *MergeCSR) MultiplyManyCtx(ctx context.Context, y, x []float64, k int) error {
+	if ctl := exec.NewCtl(ctx); ctl.Cancelled() {
+		return ctl.Err()
+	}
+	f.MultiplyMany(y, x, k)
+	return nil
+}
+
+// --- ELL ---
+
+// slotCum is the ELL cumulative work measure: every row costs exactly
+// width padded slots.
+func (f *ELL) slotCum(i int) int64 {
+	w := int64(f.width)
+	if w < 1 {
+		w = 1
+	}
+	return int64(i) * w
+}
+
+// SpMVCtx implements ContextFormat.
+func (f *ELL) SpMVCtx(ctx context.Context, x, y []float64, workers int) error {
+	checkShape("ELL", f.rows, f.cols, x, y)
+	ctl := exec.NewCtl(ctx)
+	workers = exec.Workers(int64(len(f.val)), workers)
+	kern := func(lo, hi int) { f.rowRange(x, y, lo, hi) }
+	if workers <= 1 {
+		chunkCtx(ctl, 0, f.rows, ctxGrain(1), f.slotCum, kern)
+		return ctlErr(ctl)
+	}
+	g := exec.AcquireCtl(workers, ctl)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.evenRowPlan(&g)
+	ranges := pl.Ranges
+	return g.RunPlanCtx(pl, func(w int) {
+		chunkCtx(ctl, ranges[w].RowLo, ranges[w].RowHi, ctxGrain(1), f.slotCum, kern)
+	})
+}
+
+// MultiplyManyCtx implements ContextFormat.
+func (f *ELL) MultiplyManyCtx(ctx context.Context, y, x []float64, k int) error {
+	checkShapeMulti("ELL", f.rows, f.cols, y, x, k)
+	ctl := exec.NewCtl(ctx)
+	workers := exec.Workers(int64(len(f.val))*int64(k), exec.MaxWorkers())
+	kern := func(lo, hi int) { f.rowRangeMulti(x, y, k, lo, hi) }
+	if workers <= 1 {
+		chunkCtx(ctl, 0, f.rows, ctxGrain(k), f.slotCum, kern)
+		return ctlErr(ctl)
+	}
+	g := exec.AcquireCtl(workers, ctl)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.evenRowPlan(&g)
+	ranges := pl.Ranges
+	return g.RunPlanCtx(pl, func(w int) {
+		chunkCtx(ctl, ranges[w].RowLo, ranges[w].RowHi, ctxGrain(k), f.slotCum, kern)
+	})
+}
+
+// --- SELL-C-sigma ---
+
+// SpMVCtx implements ContextFormat; sub-ranges are chunk indices and the
+// chunk pointer is the cumulative padded-slot measure.
+func (f *SELLCS) SpMVCtx(ctx context.Context, x, y []float64, workers int) error {
+	checkShape(f.Name(), f.rows, f.cols, x, y)
+	ctl := exec.NewCtl(ctx)
+	nChunks := len(f.chunkLen)
+	workers = exec.Workers(int64(len(f.val)), workers)
+	if workers > nChunks {
+		workers = nChunks
+	}
+	cum := func(i int) int64 { return f.chunkPtr[i] }
+	kern := func(lo, hi int) { f.chunkRange(x, y, lo, hi) }
+	if workers <= 1 {
+		chunkCtx(ctl, 0, nChunks, ctxGrain(1), cum, kern)
+		return ctlErr(ctl)
+	}
+	g := exec.AcquireCtl(workers, ctl)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.chunkPlan(&g)
+	ranges := pl.Ranges
+	return g.RunPlanCtx(pl, func(w int) {
+		chunkCtx(ctl, ranges[w].RowLo, ranges[w].RowHi, ctxGrain(1), cum, kern)
+	})
+}
+
+// MultiplyManyCtx implements ContextFormat.
+func (f *SELLCS) MultiplyManyCtx(ctx context.Context, y, x []float64, k int) error {
+	checkShapeMulti(f.Name(), f.rows, f.cols, y, x, k)
+	ctl := exec.NewCtl(ctx)
+	nChunks := len(f.chunkLen)
+	workers := exec.Workers(int64(len(f.val))*int64(k), exec.MaxWorkers())
+	if workers > nChunks {
+		workers = nChunks
+	}
+	cum := func(i int) int64 { return f.chunkPtr[i] }
+	kern := func(lo, hi int) { f.chunkRangeMulti(x, y, k, lo, hi) }
+	if workers <= 1 {
+		chunkCtx(ctl, 0, nChunks, ctxGrain(k), cum, kern)
+		return ctlErr(ctl)
+	}
+	g := exec.AcquireCtl(workers, ctl)
+	defer g.Release() // no-op after Run; frees the shard if a plan build panics
+	pl := f.chunkPlan(&g)
+	ranges := pl.Ranges
+	return g.RunPlanCtx(pl, func(w int) {
+		chunkCtx(ctl, ranges[w].RowLo, ranges[w].RowHi, ctxGrain(k), cum, kern)
+	})
+}
+
+// --- Auto ---
+
+// SpMVCtx delegates to the chosen format, through the package helper so
+// non-ContextFormat choices get the documented fallback.
+func (a *Auto) SpMVCtx(ctx context.Context, x, y []float64, workers int) error {
+	return SpMVCtx(ctx, a.Format, x, y, workers)
+}
+
+// MultiplyManyCtx delegates like SpMVCtx.
+func (a *Auto) MultiplyManyCtx(ctx context.Context, y, x []float64, k int) error {
+	return MultiplyManyCtx(ctx, a.Format, y, x, k)
+}

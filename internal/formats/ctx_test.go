@@ -1,0 +1,183 @@
+package formats
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/matrix"
+	"repro/internal/testutil"
+)
+
+// ctxFormats are the formats implementing ContextFormat: the CSR family,
+// ELL and SELL-C-s poll cancellation at chunk granularity; Merge-CSR
+// satisfies the interface with an explicit run-to-completion fallback
+// (its plan cache cannot share the inherited chunked sweep). The rest go
+// through the package-helper fallback.
+var ctxFormats = map[string]bool{
+	"Naive-CSR": true, "Vec-CSR": true, "Bal-CSR": true, "MKL-IE": true,
+	"Merge-CSR": true, "ELL": true, "SELL-C-s": true,
+}
+
+// TestCtxKernelsMatchLegacy: under a live context, SpMVCtx and
+// MultiplyManyCtx must produce bit-identical results to the legacy entry
+// points for every registry format (native chunk-polling implementations
+// and helper fallbacks alike).
+func TestCtxKernelsMatchLegacy(t *testing.T) {
+	prev := exec.SetMaxWorkers(8)
+	defer exec.SetMaxWorkers(prev)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel() // live for the duration of the test
+
+	ms := testutil.EngineMatrices(t)
+	for name, m := range testutil.Degenerate() {
+		ms[name] = m
+	}
+	for name, m := range ms {
+		for _, b := range Registry() {
+			f, err := b.Build(m)
+			if err != nil {
+				if errors.Is(err, ErrBuild) {
+					continue
+				}
+				t.Fatalf("%s on %s: %v", b.Name, name, err)
+			}
+			if _, native := f.(ContextFormat); native != ctxFormats[f.Name()] {
+				t.Fatalf("%s: native ContextFormat = %v, want %v", f.Name(), native, ctxFormats[f.Name()])
+			}
+			x := matrix.RandomVector(m.Cols, 31)
+			want := make([]float64, m.Rows)
+			f.SpMVParallel(x, want, 8)
+			got := make([]float64, m.Rows)
+			for i := range got {
+				got[i] = math.NaN()
+			}
+			if err := SpMVCtx(ctx, f, x, got, 8); err != nil {
+				t.Fatalf("%s on %s: SpMVCtx: %v", f.Name(), name, err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s on %s: SpMVCtx row %d = %v, want %v", f.Name(), name, i, got[i], want[i])
+				}
+			}
+			const k = 5
+			xk := matrix.RandomVector(m.Cols*k, 41)
+			wantK := make([]float64, m.Rows*k)
+			f.MultiplyMany(wantK, xk, k)
+			gotK := make([]float64, m.Rows*k)
+			for i := range gotK {
+				gotK[i] = math.NaN()
+			}
+			if err := MultiplyManyCtx(ctx, f, gotK, xk, k); err != nil {
+				t.Fatalf("%s on %s: MultiplyManyCtx: %v", f.Name(), name, err)
+			}
+			for i := range gotK {
+				if gotK[i] != wantK[i] {
+					t.Fatalf("%s on %s: MultiplyManyCtx slot %d = %v, want %v", f.Name(), name, i, gotK[i], wantK[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCtxPreCancelledReturnsImmediately: a context cancelled before the
+// call must return context.Canceled for every registry format, native and
+// fallback alike, without touching y.
+func TestCtxPreCancelledReturnsImmediately(t *testing.T) {
+	prev := exec.SetMaxWorkers(8)
+	defer exec.SetMaxWorkers(prev)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	m := matrix.Random(2000, 2000, 0.01, 3)
+	x := matrix.RandomVector(m.Cols, 7)
+	for _, b := range Registry() {
+		f, err := b.Build(m)
+		if err != nil {
+			continue
+		}
+		y := make([]float64, m.Rows)
+		if err := SpMVCtx(ctx, f, x, y, 8); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: SpMVCtx on cancelled ctx = %v, want context.Canceled", f.Name(), err)
+		}
+		yk := make([]float64, m.Rows*3)
+		xk := matrix.RandomVector(m.Cols*3, 9)
+		if err := MultiplyManyCtx(ctx, f, yk, xk, 3); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: MultiplyManyCtx on cancelled ctx = %v, want context.Canceled", f.Name(), err)
+		}
+	}
+}
+
+// TestCtxChunkingCoversAllRows drives the serial chunked path (workers
+// forced to 1) so the chunk-boundary arithmetic itself is exercised:
+// every row must be written exactly as the one-shot kernel writes it.
+func TestCtxChunkingCoversAllRows(t *testing.T) {
+	prev := exec.SetMaxWorkers(1)
+	defer exec.SetMaxWorkers(prev)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Skewed row lengths so chunk boundaries land mid-matrix.
+	rowNNZ := make([]int, 300)
+	for i := range rowNNZ {
+		rowNNZ[i] = 1 + (i%7)*20
+	}
+	m := matrix.RandomRowSizes(300, 400, rowNNZ, 11)
+	x := matrix.RandomVector(m.Cols, 13)
+	for _, name := range []string{"Naive-CSR", "Vec-CSR", "Bal-CSR", "MKL-IE", "ELL", "SELL-C-s"} {
+		b, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("missing builder %s", name)
+		}
+		f, err := b.Build(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := make([]float64, m.Rows)
+		f.SpMV(x, want)
+		got := make([]float64, m.Rows)
+		for i := range got {
+			got[i] = math.NaN()
+		}
+		if err := f.(ContextFormat).SpMVCtx(ctx, x, got, 1); err != nil {
+			t.Fatalf("%s: SpMVCtx: %v", name, err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: serial chunked row %d = %v, want %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCtxWorkerPanicBecomesError: a panic inside a parallel Ctx dispatch
+// must come back as a *exec.PanicError, and the format must serve the
+// next call cleanly.
+func TestCtxWorkerPanicBecomesError(t *testing.T) {
+	prev := exec.SetMaxWorkers(8)
+	defer exec.SetMaxWorkers(prev)
+	m := matrix.Random(4000, 4000, 0.01, 5)
+	f := NewCSR(m)
+	x := matrix.RandomVector(m.Cols, 7)
+	y := make([]float64, m.Rows)
+
+	// Model a kernel fault on one lane of a cancellable dispatch.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g := exec.AcquireCtl(4, exec.NewCtl(ctx))
+	err := g.RunCtx(4, func(w int) {
+		if w == 1 {
+			panic("lane fault")
+		}
+	})
+	var pe *exec.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *exec.PanicError", err)
+	}
+	// Subsequent legit call on the same format and engine must succeed.
+	if err := SpMVCtx(ctx, f, x, y, 8); err != nil {
+		t.Fatalf("post-fault SpMVCtx: %v", err)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"repro/internal/failpoint"
 )
 
 // MatrixMarket I/O for the "matrix coordinate" container, the interchange
@@ -34,6 +36,12 @@ const mmPreallocCap = 1 << 20
 
 // ReadMatrixMarket parses a MatrixMarket coordinate stream into CSR.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	// I/O fault injection: models the stream dying mid-read (NFS drop,
+	// truncated download). The chaos suite drives it to assert a failed
+	// load surfaces as an error and never a partial matrix.
+	if err := failpoint.Inject("mmio.read"); err != nil {
+		return nil, err
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 

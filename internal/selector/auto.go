@@ -1,6 +1,7 @@
 package selector
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -78,7 +79,21 @@ type AutoOptions struct {
 // internal/formats because selection consults the device models, which
 // themselves build on formats' trait estimates.
 func BuildAuto(m *matrix.CSR, o AutoOptions) (*formats.Auto, error) {
+	return BuildAutoCtx(context.Background(), m, o)
+}
+
+// BuildAutoCtx is BuildAuto honoring a context: the selection aborts with
+// the context's error at its stage boundaries — before ranking, and
+// between micro-probe candidates (a candidate's timed runs finish, so a
+// cancelled selection returns within one candidate's probe budget, a few
+// milliseconds). The decision cache and experience base are only written
+// for selections that ran to completion; an aborted selection leaves no
+// partial state behind.
+func BuildAutoCtx(ctx context.Context, m *matrix.CSR, o AutoOptions) (*formats.Auto, error) {
 	maybeAttachEnvJournal()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	k := o.K
 	if k < 1 {
 		k = 1
@@ -142,10 +157,18 @@ func BuildAuto(m *matrix.CSR, o AutoOptions) (*formats.Auto, error) {
 	}
 	choice.Shortlist = shortlist
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pick := shortlist[0]
 	var prebuilt formats.Format
 	if o.Probe && m.NNZ() >= autoProbeMinNNZ && len(shortlist) > 1 {
-		winner, built, results := probe(m, shortlist, ProbeOptions{K: k, SampleRows: o.SampleRows})
+		winner, built, results := probe(ctx, m, shortlist, ProbeOptions{K: k, SampleRows: o.SampleRows})
+		if err := ctx.Err(); err != nil {
+			// The probe stopped early; its partial measurements must not
+			// become a cached decision or a learned sample.
+			return nil, err
+		}
 		if winner != "" {
 			pick = winner
 			prebuilt = built // non-nil when the probe ran on the full matrix

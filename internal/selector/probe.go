@@ -1,6 +1,7 @@
 package selector
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -48,15 +49,27 @@ type ProbeResult struct {
 // are returned in candidate order; winner is "" when every candidate
 // failed to build.
 func Probe(m *matrix.CSR, candidates []string, o ProbeOptions) (winner string, results []ProbeResult) {
-	winner, _, results = probe(m, candidates, o)
+	winner, _, results = probe(context.Background(), m, candidates, o)
 	return winner, results
+}
+
+// ProbeCtx is Probe honoring a context: the candidate loop checks it
+// between candidates (a candidate's timed runs finish once started), so a
+// cancelled probe returns within one candidate's timing budget. The
+// partial results measured before cancellation are returned with the
+// context's error; winner is the best of those, which an aborting caller
+// should discard.
+func ProbeCtx(ctx context.Context, m *matrix.CSR, candidates []string, o ProbeOptions) (winner string, results []ProbeResult, err error) {
+	winner, _, results = probe(ctx, m, candidates, o)
+	return winner, results, ctx.Err()
 }
 
 // probe is Probe plus build reuse: when the row budget covers the whole
 // matrix (RowSample returns m itself), the probe already built every
 // candidate at full cost, so the winner's built instance is returned for
-// the caller to use directly instead of rebuilding it.
-func probe(m *matrix.CSR, candidates []string, o ProbeOptions) (winner string, built formats.Format, results []ProbeResult) {
+// the caller to use directly instead of rebuilding it. A cancelled ctx
+// stops the candidate loop at the next boundary.
+func probe(ctx context.Context, m *matrix.CSR, candidates []string, o ProbeOptions) (winner string, built formats.Format, results []ProbeResult) {
 	probeRuns.Add(1)
 	k := o.K
 	if k < 1 {
@@ -82,6 +95,9 @@ func probe(m *matrix.CSR, candidates []string, o ProbeOptions) (winner string, b
 	y := make([]float64, sub.Rows*k)
 	bestNs := math.Inf(1)
 	for _, name := range candidates {
+		if ctx.Err() != nil {
+			break
+		}
 		b, ok := formats.Lookup(name)
 		if !ok {
 			continue

@@ -1,6 +1,8 @@
 package selector
 
 import (
+	"context"
+
 	"repro/internal/cache"
 	"repro/internal/formats"
 	"repro/internal/matrix"
@@ -21,11 +23,19 @@ import (
 // decision comes from the cache with zero micro-probes, exactly like any
 // warm restart.
 func Reselect(oldFingerprint uint64, m *matrix.CSR, o AutoOptions) (*formats.Auto, int, error) {
+	return ReselectCtx(context.Background(), oldFingerprint, m, o)
+}
+
+// ReselectCtx is Reselect honoring a context, for compaction rebuilds
+// that must stop on shutdown: stale decisions for the dead fingerprint
+// are invalidated unconditionally (they are wrong regardless of whether
+// this rebuild completes), then BuildAutoCtx selects under ctx.
+func ReselectCtx(ctx context.Context, oldFingerprint uint64, m *matrix.CSR, o AutoOptions) (*formats.Auto, int, error) {
 	dc := o.Cache
 	if dc == nil {
 		dc = cache.Decisions
 	}
 	dropped := dc.InvalidateFingerprint(oldFingerprint)
-	f, err := BuildAuto(m, o)
+	f, err := BuildAutoCtx(ctx, m, o)
 	return f, dropped, err
 }

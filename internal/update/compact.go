@@ -1,13 +1,24 @@
 package update
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/formats"
 	"repro/internal/matrix"
 	"repro/internal/selector"
+)
+
+// Compaction retry backoff bounds: the first failed rebuild delays the
+// next background attempt by compactRetryBase, doubling per consecutive
+// failure up to compactRetryMax. Explicit Compact calls ignore the
+// schedule (the caller asked now and gets the error directly).
+const (
+	compactRetryBase = 100 * time.Millisecond
+	compactRetryMax  = 30 * time.Second
 )
 
 // Package-wide compaction trigger defaults; per-matrix overrides live in
@@ -73,11 +84,15 @@ func (u *Updatable) threshold(baseNNZ int64) int {
 }
 
 // maybeCompact kicks off one background compaction when the overlay has
-// crossed the trigger and none is already pending.
+// crossed the trigger, none is already pending, and the retry backoff
+// from a previous failure has elapsed.
 func (u *Updatable) maybeCompact() {
 	s := u.snap.Load()
 	if u.overlayLen(s) < u.threshold(s.base.NNZ()) {
 		return
+	}
+	if ns := u.nextCompactNs.Load(); ns != 0 && time.Now().UnixNano() < ns {
+		return // backing off after a failed rebuild; frozen overlay serves reads
 	}
 	if !u.compactPending.CompareAndSwap(false, true) {
 		return
@@ -90,8 +105,27 @@ func (u *Updatable) maybeCompact() {
 		if u.overlayLen(s) < u.threshold(s.base.NNZ()) {
 			return // a concurrent explicit Compact already folded it
 		}
-		_ = u.compactOnce() // a failed rebuild keeps the frozen epoch; readers stay correct
+		// A failed rebuild keeps the frozen epoch — readers stay exact —
+		// and arms the backoff for the next attempt.
+		u.noteCompactOutcome(u.compactOnce(context.Background()))
 	}()
+}
+
+// noteCompactOutcome updates the retry-backoff state after a compaction
+// attempt: failures double the delay before the next background attempt
+// (capped), success clears it.
+func (u *Updatable) noteCompactOutcome(err error) {
+	if err == nil {
+		u.compactFails.Store(0)
+		u.nextCompactNs.Store(0)
+		return
+	}
+	streak := u.compactFails.Add(1)
+	d := compactRetryBase << (streak - 1)
+	if streak > 8 || d > compactRetryMax || d <= 0 {
+		d = compactRetryMax
+	}
+	u.nextCompactNs.Store(time.Now().UnixNano() + d.Nanoseconds())
 }
 
 // Compact synchronously folds the entire overlay — frozen and active —
@@ -99,9 +133,20 @@ func (u *Updatable) maybeCompact() {
 // new epoch. Multiplies in flight finish on the old snapshot; new ones
 // see the compacted base immediately.
 func (u *Updatable) Compact() error {
+	return u.CompactCtx(context.Background())
+}
+
+// CompactCtx is Compact honoring a context: the format re-selection of
+// the rebuild phase aborts at its stage boundaries on cancellation (see
+// selector.ReselectCtx). A cancelled compaction behaves exactly like a
+// failed one — the freeze has already happened, the frozen overlay stays
+// live serving exact reads, and a later Compact folds it.
+func (u *Updatable) CompactCtx(ctx context.Context) error {
 	u.compactMu.Lock()
 	defer u.compactMu.Unlock()
-	return u.compactOnce()
+	err := u.compactOnce(ctx)
+	u.noteCompactOutcome(err)
+	return err
 }
 
 // compactOnce runs one freeze-then-rebuild cycle. Caller holds compactMu.
@@ -116,8 +161,17 @@ func (u *Updatable) Compact() error {
 // fresh CSR, re-select the base format (drift invalidation plus warm
 // journal reuse via selector.Reselect), and publish the new epoch. Readers
 // that loaded the frozen snapshot concurrently revalidate and retry.
-func (u *Updatable) compactOnce() error {
+func (u *Updatable) compactOnce(ctx context.Context) error {
 	start := time.Now()
+	// Freeze injection point: a fault here models a compactor dying before
+	// it touched anything — no freeze happens, the current epoch (and any
+	// earlier frozen overlay) keeps serving.
+	if err := failpoint.Inject("update.freeze"); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for i := range u.shards {
 		u.shards[i].mu.Lock()
 	}
@@ -192,7 +246,7 @@ func (u *Updatable) compactOnce() error {
 		return nil
 	}
 	merged := frozen.baseCSR.MergeCOO(frozen.frozen)
-	base, err := u.rebuildBase(merged, frozen.baseCSR.Fingerprint())
+	base, err := u.rebuildBase(ctx, merged, frozen.baseCSR.Fingerprint())
 	if err != nil {
 		return err
 	}
@@ -212,7 +266,14 @@ func (u *Updatable) compactOnce() error {
 // drifted structure no longer fits its build constraints); otherwise the
 // selector re-runs, invalidating the predecessor fingerprint's cached
 // decisions and reusing the journal for warm, zero-probe re-decisions.
-func (u *Updatable) rebuildBase(m *matrix.CSR, oldFP uint64) (formats.Format, error) {
+func (u *Updatable) rebuildBase(ctx context.Context, m *matrix.CSR, oldFP uint64) (formats.Format, error) {
+	// Rebuild injection point: a fault here models the rebuild dying after
+	// the freeze — the frozen snapshot is already published, so readers
+	// keep computing base + frozen exactly; a retry re-merges the same
+	// frozen overlay.
+	if err := failpoint.Inject("update.rebuild"); err != nil {
+		return nil, err
+	}
 	if u.opts.Format != "" {
 		b, ok := formats.Lookup(u.opts.Format)
 		if !ok {
@@ -228,7 +289,7 @@ func (u *Updatable) rebuildBase(m *matrix.CSR, oldFP uint64) (formats.Format, er
 		}
 		return cb.Build(m)
 	}
-	a, _, err := selector.Reselect(oldFP, m, selector.AutoOptions{
+	a, _, err := selector.ReselectCtx(ctx, oldFP, m, selector.AutoOptions{
 		K: u.opts.K, Probe: u.opts.Probe, Cache: u.opts.Cache,
 	})
 	if err != nil {
@@ -248,6 +309,9 @@ type Stats struct {
 	Compactions   uint64 // completed freeze+rebuild cycles
 	LastFreezeNs  int64  // duration writers were paused by the last freeze
 	LastCompactNs int64  // full duration of the last compaction
+	CommitParks   uint64 // commits that parked waiting for a predecessor
+	CompactFails  uint32 // consecutive failed rebuilds (0 when healthy)
+	RetryBackoff  bool   // a failed rebuild is currently delaying auto-compaction
 }
 
 // Stats returns current counters and sizes.
@@ -262,6 +326,9 @@ func (u *Updatable) Stats() Stats {
 		Compactions:   u.compactions.Load(),
 		LastFreezeNs:  u.lastFreezeNs.Load(),
 		LastCompactNs: u.lastCompactNs.Load(),
+		CommitParks:   u.commitParks.Load(),
+		CompactFails:  u.compactFails.Load(),
+		RetryBackoff:  u.nextCompactNs.Load() > time.Now().UnixNano(),
 	}
 	if s.frozen != nil {
 		st.FrozenLen = s.frozen.NNZ()

@@ -122,11 +122,32 @@ type Updatable struct {
 
 	snap atomic.Pointer[snapshot]
 
+	// Commit-wait parking. Writers commit in ticket order; a writer whose
+	// predecessor has not yet published spins briefly (the common case: the
+	// predecessor is between its own publish steps) and then parks on
+	// commitCond instead of burning a core. commitWaiters is read by
+	// publishers outside commitMu to keep the no-waiter fast path
+	// lock-free; it is only ever written under commitMu, and the empty
+	// Lock/Unlock in finishCommit closes the check-then-Wait window.
+	commitMu      sync.Mutex
+	commitCond    *sync.Cond
+	commitWaiters atomic.Int32
+	commitParks   atomic.Uint64
+
 	compactMu      sync.Mutex // serializes compactions
 	compactPending atomic.Bool
 	compactions    atomic.Uint64
 	lastFreezeNs   atomic.Int64
 	lastCompactNs  atomic.Int64
+
+	// Compaction retry backoff: a failed background rebuild (I/O fault,
+	// injected failpoint, refused build) leaves the frozen overlay live —
+	// readers stay exact — and schedules the next attempt no earlier than
+	// nextCompactNs, doubling the delay per consecutive failure so a
+	// persistently failing rebuild cannot hot-loop. compactFails counts the
+	// streak; any success resets both.
+	compactFails  atomic.Uint32
+	nextCompactNs atomic.Int64
 
 	// rebuildHook, when set (tests only), runs between the freeze and the
 	// rebuild publish — the window in which readers and writers must keep
@@ -171,6 +192,7 @@ func Wrap(f formats.Format, m *matrix.CSR, o Options) (*Updatable, error) {
 		s = DefaultShards
 	}
 	u := &Updatable{opts: o, shards: make([]logShard, s)}
+	u.commitCond = sync.NewCond(&u.commitMu)
 	for i := range u.shards {
 		u.shards[i].view.Store(emptyView)
 		u.shards[i].net = make(map[cell]float64)
@@ -236,15 +258,60 @@ func (u *Updatable) apply(r, c int, dv func(cur float64) float64) {
 	}
 	sh.mu.Unlock()
 	// Commit in ticket order: wait for every earlier update to become
-	// visible, then publish ours. The wait holds no locks, and the chain
-	// always advances — every allocated ticket is published before its
-	// holder reaches this point.
-	for u.visible.Load() != seq-1 {
-		runtime.Gosched()
-	}
-	u.visible.Store(seq)
+	// visible, then publish ours. The chain always advances — every
+	// allocated ticket is published before its holder reaches this point.
+	u.commit(seq)
 	if !u.opts.NoAutoCompact {
 		u.maybeCompact()
+	}
+}
+
+// commitSpins is how many cooperative yields a committing writer spends
+// before parking. The predecessor is usually a handful of instructions
+// from its own publish, so a short spin wins; past it the writer is being
+// scheduled against many peers (or a descheduled predecessor) and burning
+// a core on Gosched only steals time from the writer everyone is waiting
+// on.
+const commitSpins = 128
+
+// commit publishes seq once every earlier ticket is visible: spin
+// briefly, then park on commitCond until the predecessor's publish wakes
+// the queue.
+func (u *Updatable) commit(seq uint64) {
+	for i := 0; i < commitSpins; i++ {
+		if u.visible.Load() == seq-1 {
+			u.finishCommit(seq)
+			return
+		}
+		runtime.Gosched()
+	}
+	u.commitParks.Add(1)
+	u.commitMu.Lock()
+	u.commitWaiters.Add(1)
+	for u.visible.Load() != seq-1 {
+		u.commitCond.Wait()
+	}
+	u.commitWaiters.Add(-1)
+	u.commitMu.Unlock()
+	u.finishCommit(seq)
+}
+
+// finishCommit publishes seq and wakes parked successors. The no-waiter
+// fast path is one atomic load. When a waiter exists, the empty
+// Lock/Unlock before Broadcast is what makes the wakeup reliable: a
+// parker holds commitMu from its predicate check until Wait releases it,
+// so by the time this publisher gets the lock the parker either saw the
+// new watermark (and never waited) or is already inside Wait, where the
+// Broadcast reaches it. Both loads are sequentially consistent, so a
+// publisher that misses a just-arrived waiter's increment implies that
+// waiter's later predicate load sees the new watermark.
+func (u *Updatable) finishCommit(seq uint64) {
+	u.visible.Store(seq)
+	if u.commitWaiters.Load() != 0 {
+		u.commitMu.Lock()
+		//lint:ignore SA2001 empty critical section orders publish vs. park
+		u.commitMu.Unlock()
+		u.commitCond.Broadcast()
 	}
 }
 

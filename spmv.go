@@ -32,11 +32,15 @@
 package spmv
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"io"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/exec"
 	"repro/internal/formats"
 	"repro/internal/gen"
 	"repro/internal/matrix"
@@ -101,6 +105,67 @@ func GenerateFromFeatures(fv Features, seed int64) (*Matrix, error) {
 // Formats returns every storage format builder, state-of-practice first.
 func Formats() []FormatBuilder { return formats.Registry() }
 
+// Argument errors returned by the Multiply entry points. They replace the
+// panics (and, for short slices, silent corruption) a served system cannot
+// afford; test with errors.Is.
+var (
+	// ErrNilFormat reports a nil Format argument.
+	ErrNilFormat = errors.New("spmv: nil format")
+	// ErrInvalidK reports a non-positive right-hand-side count.
+	ErrInvalidK = errors.New("spmv: invalid k")
+	// ErrDimension reports x or y vectors (nil, short, or long) that do
+	// not match the matrix shape and k.
+	ErrDimension = errors.New("spmv: dimension mismatch")
+)
+
+// PanicError is a kernel panic contained by the execution engine: the
+// worker recovered, the shard stayed serviceable, and the Ctx entry points
+// return the panic as this error (errors.As). See internal/exec.
+type PanicError = exec.PanicError
+
+// checkArgs validates the shared multiply arguments; every facade entry
+// point rejects bad calls here before any kernel or engine work.
+func checkArgs(f Format, y, x []float64, k int) error {
+	if f == nil {
+		return ErrNilFormat
+	}
+	if k <= 0 {
+		return fmt.Errorf("%w: k = %d (want >= 1)", ErrInvalidK, k)
+	}
+	if len(x) != f.Cols()*k || len(y) != f.Rows()*k {
+		return fmt.Errorf("%w: x %d y %d for %dx%d with k = %d",
+			ErrDimension, len(x), len(y), f.Rows(), f.Cols(), k)
+	}
+	return nil
+}
+
+// Multiply computes y = A*x on the execution engine with the machine's
+// parallelism. It validates its arguments (ErrNilFormat, ErrDimension)
+// instead of panicking; nil error means y holds the product.
+func Multiply(f Format, y, x []float64) error {
+	if err := checkArgs(f, y, x, 1); err != nil {
+		return err
+	}
+	f.SpMVParallel(x, y, exec.MaxWorkers())
+	return nil
+}
+
+// MultiplyCtx is Multiply under a context: the deadline or cancellation
+// propagates into the execution engine, whose worker lanes poll it at
+// partition-chunk granularity — a cancelled call returns the context's
+// error (context.Canceled, context.DeadlineExceeded) within a bounded
+// latency instead of finishing its sweep, and y must then be treated as
+// garbage. A panic on a worker lane comes back as a *PanicError with the
+// engine still serviceable. Formats without native chunk polling (see
+// docs/ARCHITECTURE.md, "The robustness layer") check the context before
+// dispatch and then run to completion.
+func MultiplyCtx(ctx context.Context, f Format, y, x []float64) error {
+	if err := checkArgs(f, y, x, 1); err != nil {
+		return err
+	}
+	return formats.SpMVCtx(ctx, f, x, y, exec.MaxWorkers())
+}
+
 // MultiplyMany computes Y = A*X for a block of k dense right-hand sides at
 // once (SpMM). X and Y are row-major: X holds k values per matrix column
 // (len cols*k) and Y k values per row (len rows*k). Hot formats (CSR
@@ -109,8 +174,24 @@ func Formats() []FormatBuilder { return formats.Registry() }
 // feeds k FMAs instead of one — on the same sharded execution engine as
 // the single-vector kernels; the remaining formats multiply one vector at
 // a time. This is the kernel block Krylov solvers and multi-query
-// inference issue per iteration.
-func MultiplyMany(f Format, y, x []float64, k int) { f.MultiplyMany(y, x, k) }
+// inference issue per iteration. Arguments are validated (ErrNilFormat,
+// ErrInvalidK, ErrDimension) instead of panicking.
+func MultiplyMany(f Format, y, x []float64, k int) error {
+	if err := checkArgs(f, y, x, k); err != nil {
+		return err
+	}
+	f.MultiplyMany(y, x, k)
+	return nil
+}
+
+// MultiplyManyCtx is MultiplyMany under a context, with MultiplyCtx's
+// cancellation-latency, partial-result and panic-containment contract.
+func MultiplyManyCtx(ctx context.Context, f Format, y, x []float64, k int) error {
+	if err := checkArgs(f, y, x, k); err != nil {
+		return err
+	}
+	return formats.MultiplyManyCtx(ctx, f, y, x, k)
+}
 
 // SetSIMD toggles the runtime SIMD dispatch layer (internal/simd): the
 // architecture-detected micro-kernels behind the CSR, ELL, SELL-C-sigma
@@ -154,6 +235,16 @@ func SetVecWideRowMin(n int) int { return formats.SetVecWideRowMin(n) }
 //	f, err := spmv.Auto(m, spmv.AutoOptions{K: 8, Probe: true})
 //	// f.Chosen() names the picked format; f is a regular Format.
 func Auto(m *Matrix, o AutoOptions) (*AutoFormat, error) { return selector.BuildAuto(m, o) }
+
+// AutoCtx is Auto under a context: the shortlist micro-probe checks the
+// context between candidates (each candidate's timed runs finish, so a
+// cancelled selection returns within one candidate's probe budget), and a
+// cancelled or expired context aborts the selection with the context's
+// error before the winner is built. The decision cache is only written for
+// completed selections.
+func AutoCtx(ctx context.Context, m *Matrix, o AutoOptions) (*AutoFormat, error) {
+	return selector.BuildAutoCtx(ctx, m, o)
+}
 
 // SetCacheDir turns on the selection subsystem's persistence layer: the
 // decision cache and the probe-outcome experience base journal through an
