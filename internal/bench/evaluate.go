@@ -135,6 +135,7 @@ func Experiments() []Experiment {
 		{"simd", "SIMD dispatch A/B: accelerated kernels vs scalar references", RunSIMD},
 		{"select", "Auto format selection vs exhaustive search (retained performance)", RunSelect},
 		{"update", "Updatable overlay overhead and compaction timings", RunUpdate},
+		{"serve", "Batch-coalesced serving vs per-request dispatch", RunServe},
 	}
 }
 

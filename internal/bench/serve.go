@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/formats"
+	"repro/internal/matrix"
+	"repro/internal/serve"
+	"repro/internal/topo"
+)
+
+// Serving experiment shape: closed-loop concurrent clients hammering one
+// hosted matrix through the batch coalescer, against the same clients on
+// the direct (uncoalesced) path. The coalescer is driven in-process — no
+// HTTP — so the measured ratio is the kernel-fusion win itself, not JSON
+// codec overhead masking it.
+const (
+	serveClients  = 8 // concurrent single-vector clients, the CI gate's shape
+	serveMeasure  = 300 * time.Millisecond
+	serveGateTier = "medium-600k"
+	serveGateMin  = 2.0 // coalesced must beat sequential by this factor
+)
+
+// serveTiers: the spmm generator tiers minus the largest (the gate is a
+// throughput ratio at fixed shape, not a bandwidth sweep).
+func serveTiers() []spmmTier {
+	all := spmmTiers()
+	return all[:2] // small-80k, medium-600k
+}
+
+// serveThroughput runs n closed-loop clients against co for the
+// measurement window and returns aggregate completed requests/second.
+// Every client uses its own request vector; results are checked against
+// nothing here — correctness is the serve package's tests, this is the
+// throughput A/B.
+func serveThroughput(co *serve.Coalescer, cols int, n int, seed int64) (rps float64, meanBatch float64) {
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = matrix.RandomVector(cols, seed+int64(i))
+	}
+	// Warm: one round outside the window so pools and plans are hot.
+	var warm sync.WaitGroup
+	for i := 0; i < n; i++ {
+		warm.Add(1)
+		go func(i int) {
+			defer warm.Done()
+			co.Multiply(context.Background(), xs[i])
+		}(i)
+	}
+	warm.Wait()
+
+	before := co.Stats()
+	var completed atomic.Uint64
+	deadline := time.Now().Add(serveMeasure)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if _, _, err := co.Multiply(context.Background(), xs[i]); err == nil {
+					completed.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	after := co.Stats()
+	if db := after.Batches - before.Batches; db > 0 {
+		meanBatch = float64(after.Requests-before.Requests) / float64(db)
+	}
+	return float64(completed.Load()) / elapsed, meanBatch
+}
+
+// RunServe measures the serving layer's batch-coalescing win: aggregate
+// throughput of concurrent single-vector clients through the coalescer
+// (window + fused MultiplyMany) vs the same clients on the direct path
+// (each request its own parallel SpMV). The acceptance gate requires the
+// coalesced path to carry at least serveGateMin times the sequential
+// throughput at 8 clients on the medium tier — the "one sweep feeds k
+// users" property the serving daemon exists for.
+func RunServe(o Options) []*Report {
+	exec.Prestart()
+
+	r := &Report{
+		ID:     "serve",
+		Title:  "Batch-coalesced serving vs per-request dispatch",
+		Header: []string{"tier", "clients", "seq_rps", "coal_rps", "mean_batch", "speedup"},
+	}
+	var gateSpeedup float64 = -1
+	for _, tier := range serveTiers() {
+		m, err := tier.build(o.Seed)
+		if err != nil {
+			r.AddNote("tier %s: matrix generation failed: %v", tier.name, err)
+			continue
+		}
+		f := formats.NewCSR(m)
+
+		// Sequential baseline: window 0 disables gathering; each request
+		// runs its own kernel call under client concurrency.
+		seq := serve.NewCoalescer(context.Background(), f, 0, 1)
+		seqRPS, _ := serveThroughput(seq, m.Cols, serveClients, o.Seed+100)
+		seq.Close()
+
+		// Coalesced path: the daemon's defaults (200us window, batch 8).
+		co := serve.NewCoalescer(context.Background(), f, serve.DefaultWindow, serve.DefaultMaxBatch)
+		coalRPS, meanBatch := serveThroughput(co, m.Cols, serveClients, o.Seed+200)
+		co.Close()
+
+		speedup := coalRPS / seqRPS
+		r.AddRow(tier.name, fmt.Sprintf("%d", serveClients),
+			fmt.Sprintf("%.0f", seqRPS), fmt.Sprintf("%.0f", coalRPS),
+			fmt.Sprintf("%.2f", meanBatch), fmt.Sprintf("%.2fx", speedup))
+		if tier.name == serveGateTier {
+			gateSpeedup = speedup
+		}
+	}
+	if gateSpeedup >= 0 {
+		verdict := "PASS"
+		if gateSpeedup < serveGateMin {
+			verdict = "FAIL"
+		}
+		r.AddNote("acceptance gate (%s, %d concurrent clients): coalesced %.2fx sequential, floor %.2fx: %s",
+			serveGateTier, serveClients, gateSpeedup, serveGateMin, verdict)
+	} else {
+		r.AddNote("acceptance gate tier %s did not run — no verdict", serveGateTier)
+	}
+	r.AddNote("method: closed-loop clients for %v per side after one warm round; base format Naive-CSR both sides; coalesced side uses the daemon defaults (window %v, max batch %d)",
+		serveMeasure, serve.DefaultWindow, serve.DefaultMaxBatch)
+	r.AddNote("host: GOMAXPROCS=%d, %d engine shard(s) over %d topology domain(s)",
+		runtime.GOMAXPROCS(0), topo.Shards(), topo.NumDomains())
+	return []*Report{r}
+}

@@ -1,0 +1,38 @@
+package formats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Argument errors returned by the facade Multiply entry points and the
+// serving layer's admission checks. They live here — below both the spmv
+// facade (which aliases them) and internal/serve (which maps them to HTTP
+// statuses) — so a served request and a linked-library call fail with the
+// same identities; test with errors.Is.
+var (
+	// ErrNilFormat reports a nil Format argument.
+	ErrNilFormat = errors.New("spmv: nil format")
+	// ErrInvalidK reports a non-positive right-hand-side count.
+	ErrInvalidK = errors.New("spmv: invalid k")
+	// ErrDimension reports x or y vectors (nil, short, or long) that do
+	// not match the matrix shape and k.
+	ErrDimension = errors.New("spmv: dimension mismatch")
+)
+
+// CheckArgs validates the shared multiply arguments; the facade entry
+// points and the serving layer reject bad calls here before any kernel or
+// engine work.
+func CheckArgs(f Format, y, x []float64, k int) error {
+	if f == nil {
+		return ErrNilFormat
+	}
+	if k <= 0 {
+		return fmt.Errorf("%w: k = %d (want >= 1)", ErrInvalidK, k)
+	}
+	if len(x) != f.Cols()*k || len(y) != f.Rows()*k {
+		return fmt.Errorf("%w: x %d y %d for %dx%d with k = %d",
+			ErrDimension, len(x), len(y), f.Rows(), f.Cols(), k)
+	}
+	return nil
+}

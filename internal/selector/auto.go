@@ -54,6 +54,16 @@ type AutoOptions struct {
 	// model-only baselines use it so their numbers reflect the analytical
 	// model alone.
 	NoLearn bool
+	// Learned overrides the experience base consulted and fed by this
+	// build (nil: the process-wide default). Sessions with private
+	// journals pass their own so measured winners — and mispredictions —
+	// stay session-local.
+	Learned *Learned
+	// Shards overrides the execution-context shard count recorded in the
+	// decision key (0: the live topo.Shards()). The engine's pool layout
+	// is process-wide hardware state; this field only scopes which cached
+	// decisions the build may reuse.
+	Shards int
 }
 
 // BuildAuto selects a storage format for the matrix and builds it: the
@@ -90,7 +100,12 @@ func BuildAuto(m *matrix.CSR, o AutoOptions) (*formats.Auto, error) {
 // for selections that ran to completion; an aborted selection leaves no
 // partial state behind.
 func BuildAutoCtx(ctx context.Context, m *matrix.CSR, o AutoOptions) (*formats.Auto, error) {
-	maybeAttachEnvJournal()
+	if o.Cache == nil {
+		// The env-configured journal opt-in binds to the process-wide
+		// default cache; a build with a private cache (a Session) must not
+		// trigger — or be affected by — the global attachment.
+		maybeAttachEnvJournal()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -110,10 +125,18 @@ func BuildAutoCtx(ctx context.Context, m *matrix.CSR, o AutoOptions) (*formats.A
 	if dc == nil {
 		dc = cache.Decisions
 	}
+	lrn := o.Learned
+	if lrn == nil {
+		lrn = defaultLearned
+	}
+	shards := o.Shards
+	if shards <= 0 {
+		shards = topo.Shards()
+	}
 	choice := formats.AutoChoice{
 		Device: spec.Name,
 		K:      k,
-		Shards: topo.Shards(),
+		Shards: shards,
 	}
 
 	key := cache.DecisionKey{
@@ -150,7 +173,7 @@ func BuildAutoCtx(ctx context.Context, m *matrix.CSR, o AutoOptions) (*formats.A
 		// A measured winner of a nearby matrix outranks the analytical
 		// model: promote it to the front (it becomes the pick when no probe
 		// runs, and a probed candidate otherwise).
-		if name, ok := learnedPick(spec.Name, k, fv); ok {
+		if name, ok := lrn.pick(spec.Name, k, fv); ok {
 			shortlist = promote(shortlist, name)
 			choice.Learned = true
 		}
@@ -180,7 +203,7 @@ func BuildAutoCtx(ctx context.Context, m *matrix.CSR, o AutoOptions) (*formats.A
 				}
 			}
 			if !o.NoLearn {
-				observeWinner(dc, spec.Name, k, fv, winner)
+				observeWinner(dc, lrn, spec.Name, k, fv, winner)
 			}
 		}
 	}

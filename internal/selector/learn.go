@@ -8,6 +8,11 @@ package selector
 // persists in the same journal as the decision cache, and warm-loads on
 // startup, so a restarted server keeps everything its predecessors
 // measured.
+//
+// The experience base is an instantiable type (Learned) so callers that
+// need isolation — one Session per journal, the server's registry, tests —
+// can hold their own; the package-level functions operate on a process-wide
+// default instance the facade uses.
 
 import (
 	"math"
@@ -38,8 +43,27 @@ type regimeKey struct {
 	k      int
 }
 
-var learnedMu sync.Mutex
-var learnedBase = map[regimeKey]*Nearest{}
+// Learned is one experience base: the per-(device, k) k-NN samples of
+// measured probe winners. Safe for concurrent use. Distinct instances
+// share nothing, so two sessions with separate journals learn — and
+// mispredict — independently.
+type Learned struct {
+	mu   sync.Mutex
+	base map[regimeKey]*Nearest
+}
+
+// NewLearned returns an empty experience base.
+func NewLearned() *Learned {
+	return &Learned{base: map[regimeKey]*Nearest{}}
+}
+
+// defaultLearned is the process-wide experience base the package-level
+// functions (and any AutoOptions without a Learned override) operate on.
+var defaultLearned = NewLearned()
+
+// DefaultLearned returns the process-wide experience base the facade's
+// default session consults.
+func DefaultLearned() *Learned { return defaultLearned }
 
 // probeRuns counts micro-probe invocations process-wide; the persistence CI
 // gate asserts a warm restart performs zero.
@@ -48,58 +72,90 @@ var probeRuns atomic.Int64
 // ProbeCount returns how many micro-probe sweeps this process has run.
 func ProbeCount() int64 { return probeRuns.Load() }
 
-// learnedFor returns (creating on demand) the experience base for a regime.
-func learnedFor(device string, k int) *Nearest {
-	learnedMu.Lock()
-	defer learnedMu.Unlock()
+// regime returns (creating on demand) the experience base for a regime.
+func (l *Learned) regime(device string, k int) *Nearest {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	key := regimeKey{device, k}
-	n, ok := learnedBase[key]
+	n, ok := l.base[key]
 	if !ok {
 		n = NewOnline(learnKNN, learnMaxSamples)
-		learnedBase[key] = n
+		l.base[key] = n
 	}
 	return n
 }
 
-// LearnedLen reports how many experience samples the regime holds.
-func LearnedLen(device string, k int) int {
-	learnedMu.Lock()
-	n, ok := learnedBase[regimeKey{device, k}]
-	learnedMu.Unlock()
+// Len reports how many experience samples the regime holds.
+func (l *Learned) Len(device string, k int) int {
+	l.mu.Lock()
+	n, ok := l.base[regimeKey{device, k}]
+	l.mu.Unlock()
 	if !ok {
 		return 0
 	}
 	return n.Len()
 }
 
-// ResetLearned drops every in-memory experience sample (tests and
-// benchmark harnesses that need a cold selector).
-func ResetLearned() {
-	learnedMu.Lock()
-	learnedBase = map[regimeKey]*Nearest{}
-	learnedMu.Unlock()
+// Reset drops every in-memory experience sample (tests and benchmark
+// harnesses that need a cold selector, and journal re-attachment).
+func (l *Learned) Reset() {
+	l.mu.Lock()
+	l.base = map[regimeKey]*Nearest{}
+	l.mu.Unlock()
 }
 
-// observeWinner records one measured probe outcome: into the in-memory
-// k-NN base immediately, and into the journal behind the decision cache
-// (when one is attached) for the next process.
-func observeWinner(dc *cache.DecisionCache, device string, k int, fv core.FeatureVector, best string) {
-	learnedFor(device, k).Observe(Sample{FV: fv, Best: best})
-	if st := dc.Store(); st != nil {
-		st.AppendExperience(cache.Experience{Device: device, K: k, FV: fv, Best: best})
-	}
+// observe records one measured probe outcome into the in-memory k-NN base.
+func (l *Learned) observe(device string, k int, fv core.FeatureVector, best string, weight float64) {
+	l.regime(device, k).Observe(Sample{FV: fv, Best: best, Weight: weight})
 }
 
-// learnedPick consults the regime's experience base; ok only when a
-// recorded outcome lies within LearnMaxDist of the new matrix.
-func learnedPick(device string, k int, fv core.FeatureVector) (string, bool) {
-	learnedMu.Lock()
-	n, ok := learnedBase[regimeKey{device, k}]
-	learnedMu.Unlock()
+// pick consults the regime's experience base; ok only when a recorded
+// outcome lies within LearnMaxDist of the new matrix.
+func (l *Learned) pick(device string, k int, fv core.FeatureVector) (string, bool) {
+	l.mu.Lock()
+	n, ok := l.base[regimeKey{device, k}]
+	l.mu.Unlock()
 	if !ok {
 		return "", false
 	}
 	return n.PredictNear(fv, LearnMaxDist)
+}
+
+// WarmLoad replays a journal's experience records into the base, returning
+// how many were loaded. Called when a store is attached so a restarted
+// process resumes with its predecessors' measurements. Replayed samples
+// are age-decayed: the newest record enters at full weight and each
+// experienceHalfLife records of age halve the vote, so stale history
+// biases — not dictates — future shortlists.
+func (l *Learned) WarmLoad(st *cache.Store) int {
+	if st == nil {
+		return 0
+	}
+	exps := st.Experiences()
+	last := len(exps) - 1
+	for i, e := range exps {
+		age := float64(last - i)
+		w := math.Exp2(-age / experienceHalfLife)
+		l.observe(e.Device, e.K, e.FV, e.Best, w)
+	}
+	return len(exps)
+}
+
+// LearnedLen reports how many experience samples the default base holds
+// for the regime.
+func LearnedLen(device string, k int) int { return defaultLearned.Len(device, k) }
+
+// ResetLearned drops every in-memory experience sample of the default base.
+func ResetLearned() { defaultLearned.Reset() }
+
+// observeWinner records one measured probe outcome: into the given
+// in-memory k-NN base immediately, and into the journal behind the
+// decision cache (when one is attached) for the next process.
+func observeWinner(dc *cache.DecisionCache, lrn *Learned, device string, k int, fv core.FeatureVector, best string) {
+	lrn.observe(device, k, fv, best, 0)
+	if st := dc.Store(); st != nil {
+		st.AppendExperience(cache.Experience{Device: device, K: k, FV: fv, Best: best})
+	}
 }
 
 // experienceHalfLife is the age (in journal records) at which a replayed
@@ -109,25 +165,8 @@ func learnedPick(device string, k int, fv core.FeatureVector) (string, bool) {
 // still votes, but two fresh confirmations outvote it.
 const experienceHalfLife = 256
 
-// WarmLoad replays a journal's experience records into the in-memory base,
-// returning how many were loaded. Called when a store is attached so a
-// restarted process resumes with its predecessors' measurements. Replayed
-// samples are age-decayed: the newest record enters at full weight and
-// each experienceHalfLife records of age halve the vote, so stale history
-// biases — not dictates — future shortlists.
-func WarmLoad(st *cache.Store) int {
-	if st == nil {
-		return 0
-	}
-	exps := st.Experiences()
-	last := len(exps) - 1
-	for i, e := range exps {
-		age := float64(last - i)
-		w := math.Exp2(-age / experienceHalfLife)
-		learnedFor(e.Device, e.K).Observe(Sample{FV: e.FV, Best: e.Best, Weight: w})
-	}
-	return len(exps)
-}
+// WarmLoad replays a journal's experience records into the default base.
+func WarmLoad(st *cache.Store) int { return defaultLearned.WarmLoad(st) }
 
 // Persist opens (or creates) the decision journal in dir and binds it to
 // the process-wide selection state: the decision cache warm-loads and
@@ -137,6 +176,11 @@ func WarmLoad(st *cache.Store) int {
 // into the k-NN vote). An empty dir resolves the default location
 // (SPMV_CACHE_DIR, then the user cache dir — see cache.Dir). Returns the
 // open store.
+//
+// Persist configures the DEFAULT session's state — the one the package
+// facade uses. Callers that need isolated journals (one per server
+// registry, concurrent writers) should hold their own cache and Learned
+// via AutoOptions, as internal/session does.
 func Persist(dir string) (*cache.Store, error) {
 	if dir != "" {
 		cache.SetDir(dir)

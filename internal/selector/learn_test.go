@@ -54,7 +54,7 @@ func TestWarmLoadAgesExperience(t *testing.T) {
 	if n := WarmLoad(st); n == 0 {
 		t.Fatal("nothing replayed")
 	}
-	name, ok := learnedPick("host", 8, fv)
+	name, ok := defaultLearned.pick("host", 8, fv)
 	if !ok || name != "ELL" {
 		t.Fatalf("aged pick = %q,%v; want fresh ELL to outvote the stale COO majority", name, ok)
 	}

@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/session"
+)
+
+// bootServer starts a server on a loopback ephemeral port and returns its
+// base URL plus a shutdown func.
+func bootServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	sess, err := session.New(session.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(cfg, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	return s, "http://" + s.Addr()
+}
+
+// call POSTs (or GETs when body is nil) and decodes the envelope.
+func call(t *testing.T, method, url string, body any) (int, envelope) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("%s %s: undecodable envelope: %v", method, url, err)
+	}
+	return resp.StatusCode, env
+}
+
+// remarshal re-decodes envelope data into a typed struct.
+func remarshal(t *testing.T, data any, dst any) {
+	t.Helper()
+	b, err := json.Marshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The full happy path over real HTTP: health, upload, lookup, batched
+// multiply, updatable cell set visible in the next multiply, typed 400 on
+// a wrong-length vector, 404 on an unknown fingerprint, delete.
+func TestServerEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Window = 2 * time.Millisecond
+	s, base := bootServer(t, cfg)
+	defer s.Shutdown(context.Background())
+
+	status, env := call(t, "GET", base+"/v1/healthz", nil)
+	if status != 200 || !env.OK {
+		t.Fatalf("healthz: %d %+v", status, env)
+	}
+
+	m := matrix.Random(200, 200, 0.03, 21)
+	status, env = call(t, "POST", base+"/v1/matrices",
+		UploadSpec{Name: "e2e", MatrixMarket: mmBody(t, m), Updatable: true})
+	if status != 201 || !env.OK {
+		t.Fatalf("upload: %d %+v", status, env)
+	}
+	var up UploadResponse
+	remarshal(t, env.Data, &up)
+	if !up.Created || up.Info.Fingerprint == "" || !up.Info.Updatable {
+		t.Fatalf("upload response %+v", up)
+	}
+	fp := up.Info.Fingerprint
+
+	// Idempotent re-upload: 200, created=false, same fingerprint.
+	status, env = call(t, "POST", base+"/v1/matrices",
+		UploadSpec{Name: "e2e", MatrixMarket: mmBody(t, m), Updatable: true})
+	if status != 200 || !env.OK {
+		t.Fatalf("re-upload: %d %+v", status, env)
+	}
+
+	x := make([]float64, 200)
+	x[3] = 1
+	status, env = call(t, "POST", base+"/v1/matrices/"+fp+"/multiply", MultiplyRequest{X: x})
+	if status != 200 || !env.OK {
+		t.Fatalf("multiply: %d %+v", status, env)
+	}
+	var mr MultiplyResponse
+	remarshal(t, env.Data, &mr)
+	if len(mr.Y) != 200 || mr.Batch < 1 {
+		t.Fatalf("multiply response: len(y)=%d batch=%d", len(mr.Y), mr.Batch)
+	}
+
+	// Cell update, then the same multiply must see it.
+	status, env = call(t, "POST", base+"/v1/matrices/"+fp+"/cells",
+		[]CellOp{{Row: 0, Col: 3, Val: mr.Y[0] + 17}})
+	if status != 200 || !env.OK {
+		t.Fatalf("cells: %d %+v", status, env)
+	}
+	status, env = call(t, "POST", base+"/v1/matrices/"+fp+"/multiply", MultiplyRequest{X: x})
+	if status != 200 {
+		t.Fatalf("multiply after set: %d %+v", status, env)
+	}
+	var mr2 MultiplyResponse
+	remarshal(t, env.Data, &mr2)
+	if diff := mr2.Y[0] - mr.Y[0]; diff < 16.9 || diff > 17.1 {
+		t.Fatalf("cell set not visible: before=%v after=%v", mr.Y[0], mr2.Y[0])
+	}
+
+	// Wrong-length vector: typed 400, dimension_mismatch code in the
+	// envelope — never a leaked 500.
+	status, env = call(t, "POST", base+"/v1/matrices/"+fp+"/multiply",
+		MultiplyRequest{X: make([]float64, 7)})
+	if status != 400 || env.OK || env.Error == nil || env.Error.Code != "dimension_mismatch" {
+		t.Fatalf("short vector: %d %+v", status, env)
+	}
+
+	// Unknown fingerprint: typed 404.
+	status, env = call(t, "POST", base+"/v1/matrices/0123456789abcdef/multiply", MultiplyRequest{X: x})
+	if status != 404 || env.Error == nil || env.Error.Code != "not_found" {
+		t.Fatalf("unknown fp: %d %+v", status, env)
+	}
+
+	// Malformed body: typed 400.
+	req, _ := http.NewRequest("POST", base+"/v1/matrices", bytes.NewReader([]byte("{nope")))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed body: %d, want 400", resp.StatusCode)
+	}
+
+	// List and stats see the one matrix and its traffic.
+	status, env = call(t, "GET", base+"/v1/stats", nil)
+	if status != 200 {
+		t.Fatalf("stats: %d", status)
+	}
+	var st StatsResponse
+	remarshal(t, env.Data, &st)
+	if len(st.Matrices) != 1 || st.Totals.Requests == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	status, env = call(t, "DELETE", base+"/v1/matrices/"+fp, nil)
+	if status != 200 || !env.OK {
+		t.Fatalf("delete: %d %+v", status, env)
+	}
+	status, _ = call(t, "GET", base+"/v1/matrices/"+fp, nil)
+	if status != 404 {
+		t.Fatalf("get after delete: %d, want 404", status)
+	}
+}
+
+// Shutdown while requests are in flight: every admitted request receives
+// a response — a result or a typed cancellation — and none hang. This is
+// the SIGTERM drain contract the serve CI job asserts end to end.
+func TestServerShutdownDrainsInFlight(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Window = 20 * time.Millisecond // wide window: shutdown hits mid-gather
+	cfg.DrainTimeout = 2 * time.Second
+	s, base := bootServer(t, cfg)
+
+	m := matrix.Random(400, 400, 0.02, 31)
+	_, env := call(t, "POST", base+"/v1/matrices", UploadSpec{MatrixMarket: mmBody(t, m)})
+	var up UploadResponse
+	remarshal(t, env.Data, &up)
+	url := base + "/v1/matrices/" + up.Info.Fingerprint + "/multiply"
+
+	const n = 6
+	type result struct {
+		status int
+		ok     bool
+	}
+	results := make(chan result, n)
+	var started sync.WaitGroup
+	for i := 0; i < n; i++ {
+		started.Add(1)
+		go func(i int) {
+			b, _ := json.Marshal(MultiplyRequest{X: matrix.RandomVector(400, int64(i))})
+			started.Done()
+			resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+			if err != nil {
+				// Connection torn down without a response would be a drain
+				// violation; report it as such.
+				results <- result{status: -1}
+				return
+			}
+			defer resp.Body.Close()
+			var env envelope
+			ok := json.NewDecoder(resp.Body).Decode(&env) == nil
+			results <- result{status: resp.StatusCode, ok: ok && (env.OK || env.Error != nil)}
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(5 * time.Millisecond) // requests reach the gathering window
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	for i := 0; i < n; i++ {
+		select {
+		case r := <-results:
+			if r.status == -1 {
+				t.Fatal("request torn down without a response during drain")
+			}
+			if !r.ok {
+				t.Fatalf("response without a valid envelope (status %d)", r.status)
+			}
+			switch r.status {
+			case 200, StatusCanceled, 503:
+			default:
+				t.Fatalf("drained request answered %d, want 200/499/503", r.status)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("request hung across shutdown — drain broken")
+		}
+	}
+}
+
+// After Shutdown returns, the listener is closed: new connections fail
+// rather than hang.
+func TestServerShutdownClosesListener(t *testing.T) {
+	s, base := bootServer(t, DefaultConfig())
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(base + "/v1/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// The envelope encoder: ok responses carry data and no error; error
+// responses carry the code/message pair and ok=false.
+func TestEnvelopeShape(t *testing.T) {
+	s, base := bootServer(t, DefaultConfig())
+	defer s.Shutdown(context.Background())
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["ok"]; !ok {
+		t.Fatal(`envelope missing "ok"`)
+	}
+	if _, ok := raw["error"]; ok {
+		t.Fatal(`ok envelope carries "error"`)
+	}
+
+	resp2, err := http.Get(base + "/v1/matrices/zzzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var env envelope
+	if err := json.NewDecoder(resp2.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.OK || env.Error == nil || env.Error.Code != "bad_request" || env.Error.Message == "" {
+		t.Fatalf("error envelope: %+v", env)
+	}
+}
+
+// Sanity for the fingerprint parser corner cases.
+func TestParseFP(t *testing.T) {
+	for _, bad := range []string{"", "123", "0123456789abcdefg", "0123456789abcde", "xyzzyxyzzyxyzzyx"} {
+		if _, err := parseFP(bad); err == nil {
+			t.Fatalf("parseFP(%q) accepted", bad)
+		}
+	}
+	fp, err := parseFP(fmt.Sprintf("%016x", uint64(0xdeadbeef)))
+	if err != nil || fp != 0xdeadbeef {
+		t.Fatalf("parseFP round-trip: %x %v", fp, err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package session scopes the selection subsystem's mutable state — the
+// decision cache, the disk journal, the online-learned experience base,
+// and the execution-context shard count — into an instantiable Session,
+// replacing the package-global SetShards/SetCacheDir facade state that
+// concurrent hosts (one server registry per journal, tests, multi-tenant
+// embedders) would otherwise fight over.
+//
+// Two sessions share nothing: each owns its DecisionCache, its journal
+// Store (opened directly on the session's directory, never through the
+// process-wide cache.SetDir override), and its Learned experience base.
+// Decisions, probe outcomes, and learned samples made under one session
+// are invisible to every other — the ROADMAP-flagged "concurrent writers
+// sharing one journal" fix.
+//
+// The process-wide default session (Default) is a view over the legacy
+// globals — cache.Decisions, the selector's default experience base,
+// topo.Shards() — so the spmv facade's package-level functions remain
+// exactly a thin wrapper over it: code written against SetCacheDir keeps
+// its behavior bit for bit.
+package session
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/formats"
+	"repro/internal/matrix"
+	"repro/internal/selector"
+	"repro/internal/topo"
+	"repro/internal/update"
+)
+
+// Options configures a Session.
+type Options struct {
+	// CacheDir is the journal directory for persistent decisions and probe
+	// outcomes. Empty means memory-only: the session still has its own
+	// isolated decision cache and experience base, but nothing touches
+	// disk. Unlike the facade's SetCacheDir, the directory is opened
+	// directly — no process-global override is installed.
+	CacheDir string
+	// K is the default right-hand-side regime hint for Auto builds under
+	// this session (0 or 1: single-vector SpMV).
+	K int
+	// Probe lets Auto builds micro-probe their shortlist by default.
+	Probe bool
+	// Shards overrides the execution-context shard count recorded in this
+	// session's decision keys (0: the live topo.Shards()). The engine's
+	// pool layout itself is process-wide hardware state.
+	Shards int
+}
+
+// Session is one isolated selection context. All methods are safe for
+// concurrent use.
+type Session struct {
+	opts    Options
+	dc      *cache.DecisionCache
+	store   *cache.Store // nil when memory-only
+	learned *selector.Learned
+
+	// def marks the default session, whose state is the legacy process
+	// globals rather than private instances.
+	def bool
+}
+
+// New opens a session. With a CacheDir, the journal is opened (creating
+// the directory as needed), existing decisions warm-load into the
+// session's cache and experience replays into its learned base — the same
+// restart contract the process-wide persistence layer gives the facade,
+// scoped to this session.
+func New(o Options) (*Session, error) {
+	s := &Session{
+		opts:    o,
+		dc:      cache.NewDecisionCache(),
+		learned: selector.NewLearned(),
+	}
+	if o.CacheDir != "" {
+		st, err := cache.Open(o.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("session: open journal: %w", err)
+		}
+		s.store = st
+		s.dc.AttachStore(st)
+		s.learned.WarmLoad(st)
+	}
+	return s, nil
+}
+
+var (
+	defOnce sync.Once
+	defSess *Session
+)
+
+// Default returns the process-wide default session: a view over the
+// legacy globals (cache.Decisions, the selector's default experience
+// base, topo.Shards()). The spmv facade's package-level Auto, SetShards
+// and SetCacheDir delegate here, so facade callers and Default() callers
+// observe one shared state.
+func Default() *Session {
+	defOnce.Do(func() {
+		defSess = &Session{def: true}
+	})
+	return defSess
+}
+
+// IsDefault reports whether this is the process-wide default session.
+func (s *Session) IsDefault() bool { return s.def }
+
+// Cache returns the session's decision cache (the process-wide
+// cache.Decisions for the default session).
+func (s *Session) Cache() *cache.DecisionCache {
+	if s.def {
+		return cache.Decisions
+	}
+	return s.dc
+}
+
+// Learned returns the session's experience base.
+func (s *Session) Learned() *selector.Learned {
+	if s.def {
+		return selector.DefaultLearned()
+	}
+	return s.learned
+}
+
+// Store returns the session's journal, or nil when memory-only. The
+// default session reports whatever journal the facade has attached.
+func (s *Session) Store() *cache.Store {
+	if s.def {
+		return cache.Decisions.Store()
+	}
+	return s.store
+}
+
+// Shards returns the execution-context shard count recorded in this
+// session's decision keys: the session override when set, else the live
+// engine topology.
+func (s *Session) Shards() int {
+	if !s.def && s.opts.Shards > 0 {
+		return s.opts.Shards
+	}
+	return topo.Shards()
+}
+
+// autoOptions scopes o to this session: the session's cache, learned
+// base and shard context replace the globals, and the session's default
+// K/Probe fill unset fields. The default session passes nil overrides so
+// selection runs on the legacy global path unchanged.
+func (s *Session) autoOptions(o selector.AutoOptions) selector.AutoOptions {
+	if o.K == 0 {
+		o.K = s.opts.K
+	}
+	if !o.Probe {
+		o.Probe = s.opts.Probe
+	}
+	if s.def {
+		return o
+	}
+	o.Cache = s.dc
+	o.Learned = s.learned
+	if o.Shards == 0 {
+		o.Shards = s.opts.Shards
+	}
+	return o
+}
+
+// Auto selects and builds a format under this session's state; see
+// selector.BuildAuto.
+func (s *Session) Auto(m *matrix.CSR, o selector.AutoOptions) (*formats.Auto, error) {
+	return selector.BuildAuto(m, s.autoOptions(o))
+}
+
+// AutoCtx is Auto honoring a context.
+func (s *Session) AutoCtx(ctx context.Context, m *matrix.CSR, o selector.AutoOptions) (*formats.Auto, error) {
+	return selector.BuildAutoCtx(ctx, m, s.autoOptions(o))
+}
+
+// NewUpdatable wraps m in a concurrently updatable form whose base
+// (re-)selection runs under this session's state; see update.New.
+func (s *Session) NewUpdatable(m *matrix.CSR, o update.Options) (*update.Updatable, error) {
+	if o.K == 0 {
+		o.K = s.opts.K
+	}
+	if !o.Probe {
+		o.Probe = s.opts.Probe
+	}
+	if !s.def {
+		if o.Cache == nil {
+			o.Cache = s.dc
+		}
+		if o.Learned == nil {
+			o.Learned = s.learned
+		}
+	}
+	return update.New(m, o)
+}
+
+// Close detaches and closes the session's journal, if any. The session's
+// in-memory caches stay usable (memory-only) afterwards. Closing the
+// default session is a no-op: its journal belongs to the facade
+// (UnsetCacheDir detaches it).
+func (s *Session) Close() error {
+	if s.def || s.store == nil {
+		return nil
+	}
+	st := s.store
+	s.store = nil
+	s.dc.AttachStore(nil)
+	return st.Close()
+}

@@ -1,0 +1,185 @@
+package session
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/matrix"
+	"repro/internal/selector"
+	"repro/internal/topo"
+	"repro/internal/update"
+)
+
+func testMatrix() *matrix.CSR { return matrix.Random(300, 300, 0.02, 77) }
+
+// Two sessions with distinct cache directories journal independently:
+// a decision made under one is invisible to the other, on disk and in
+// memory — the "concurrent writers sharing one journal" fix.
+func TestSessionsJournalIndependently(t *testing.T) {
+	dirA := filepath.Join(t.TempDir(), "a")
+	dirB := filepath.Join(t.TempDir(), "b")
+
+	sa, err := New(Options{CacheDir: dirA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	sb, err := New(Options{CacheDir: dirB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+
+	m := testMatrix()
+	if _, err := sa.Auto(m, selector.AutoOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if sa.Cache().Len() == 0 {
+		t.Fatal("session A cached no decision")
+	}
+	if sb.Cache().Len() != 0 {
+		t.Fatalf("session A's decision leaked into session B (len %d)", sb.Cache().Len())
+	}
+	keysA, _ := sa.Store().Decisions()
+	if len(keysA) == 0 {
+		t.Fatal("session A journaled nothing")
+	}
+	keysB, _ := sb.Store().Decisions()
+	if len(keysB) != 0 {
+		t.Fatalf("session A's decision leaked into session B's journal (%d entries)", len(keysB))
+	}
+
+	// A's journal warm-loads into a fresh session on the same dir; B's
+	// stays empty.
+	sa.Close()
+	sa2, err := New(Options{CacheDir: dirA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa2.Close()
+	if sa2.Cache().Len() == 0 {
+		t.Fatal("restarted session on A's dir did not warm-load")
+	}
+}
+
+// Sessions never touch the process-global selection state: decisions go
+// to the session cache and probe outcomes feed the session's experience
+// base, not the defaults.
+func TestSessionIsolatedFromGlobals(t *testing.T) {
+	globalBefore := cache.Decisions.Len()
+
+	s, err := New(Options{CacheDir: filepath.Join(t.TempDir(), "s")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, err := s.Auto(testMatrix(), selector.AutoOptions{Probe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := a.Choice()
+
+	if got := cache.Decisions.Len(); got != globalBefore {
+		t.Fatalf("session build grew the global decision cache: %d -> %d", globalBefore, got)
+	}
+	if ch.Probed {
+		if s.Learned().Len(ch.Device, ch.K) == 0 {
+			t.Fatal("probe outcome missing from the session's experience base")
+		}
+		if got := selector.LearnedLen(ch.Device, ch.K); got != 0 {
+			t.Fatalf("probe outcome leaked into the global experience base: %d", got)
+		}
+	}
+}
+
+// The default session is a view over the legacy globals: the facade's
+// package-level state and Default() observe one shared world, so code
+// written against SetShards/SetCacheDir keeps its behavior.
+func TestDefaultSessionIsTheLegacyGlobals(t *testing.T) {
+	d := Default()
+	if !d.IsDefault() {
+		t.Fatal("Default() not marked default")
+	}
+	if d.Cache() != cache.Decisions {
+		t.Fatal("default session cache is not the global decision cache")
+	}
+	if d.Learned() != selector.DefaultLearned() {
+		t.Fatal("default session learned base is not the global one")
+	}
+
+	// topo.SetShards (the facade's SetShards) is visible through the
+	// default session, and a scoped session override wins over it.
+	prev := topo.SetShards(3)
+	defer topo.SetShards(prev)
+	if d.Shards() != 3 {
+		t.Fatalf("default session shards = %d, want 3", d.Shards())
+	}
+	scoped, err := New(Options{Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scoped.Close()
+	if scoped.Shards() != 5 {
+		t.Fatalf("scoped session shards = %d, want 5", scoped.Shards())
+	}
+
+	// Closing the default session must not detach the facade's journal.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Cache() != cache.Decisions {
+		t.Fatal("closing the default session broke the global view")
+	}
+}
+
+// A session without a cache dir is memory-only but fully functional.
+func TestMemoryOnlySession(t *testing.T) {
+	s, err := New(Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Store() != nil {
+		t.Fatal("memory-only session has a store")
+	}
+	a, err := s.Auto(testMatrix(), selector.AutoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The session's default K threads into selection context.
+	if a.Choice().K != 4 {
+		t.Fatalf("session default K not applied: %+v", a.Choice())
+	}
+	if s.Cache().Len() == 0 {
+		t.Fatal("memory-only session cached nothing")
+	}
+}
+
+// An updatable built under a session re-selects under that session's
+// state, not the globals.
+func TestSessionUpdatable(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	globalBefore := cache.Decisions.Len()
+	u, err := s.NewUpdatable(testMatrix(), update.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Set(0, 0, 1.25)
+	y := make([]float64, 300)
+	x := make([]float64, 300)
+	x[0] = 2
+	u.SpMV(x, y)
+	if y[0] < 2.49 || y[0] > 2.51 {
+		t.Fatalf("y[0] = %v, want 2.5", y[0])
+	}
+	if got := cache.Decisions.Len(); got != globalBefore {
+		t.Fatalf("session updatable grew the global decision cache: %d -> %d", globalBefore, got)
+	}
+}

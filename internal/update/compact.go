@@ -290,7 +290,7 @@ func (u *Updatable) rebuildBase(ctx context.Context, m *matrix.CSR, oldFP uint64
 		return cb.Build(m)
 	}
 	a, _, err := selector.ReselectCtx(ctx, oldFP, m, selector.AutoOptions{
-		K: u.opts.K, Probe: u.opts.Probe, Cache: u.opts.Cache,
+		K: u.opts.K, Probe: u.opts.Probe, Cache: u.opts.Cache, Learned: u.opts.Learned,
 	})
 	if err != nil {
 		return nil, err

@@ -49,6 +49,10 @@ type Options struct {
 	// (nil: the process-wide cache). Tests isolating the zero-probe
 	// re-selection contract pass their own.
 	Cache *cache.DecisionCache
+	// Learned overrides the experience base (re-)selection consults and
+	// feeds (nil: the process-wide default). Sessions pass their own so a
+	// compaction's probe outcomes stay session-local.
+	Learned *selector.Learned
 	// Shards is the delta-log shard count (0: DefaultShards).
 	Shards int
 	// MinCompact and CompactRatio override the process-wide compaction
@@ -171,7 +175,7 @@ func New(m *matrix.CSR, o Options) (*Updatable, error) {
 			return nil, err
 		}
 	} else {
-		a, err := selector.BuildAuto(m, selector.AutoOptions{K: o.K, Probe: o.Probe, Cache: o.Cache})
+		a, err := selector.BuildAuto(m, selector.AutoOptions{K: o.K, Probe: o.Probe, Cache: o.Cache, Learned: o.Learned})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,54 @@
+package spmv
+
+import (
+	"repro/internal/session"
+	"repro/internal/topo"
+)
+
+// Session is one isolated selection context: its own decision cache,
+// journal, and online-learned experience base, plus a default (k, probe,
+// shards) context for Auto builds. Two sessions share nothing, so
+// concurrent hosts — one server registry per journal, multi-tenant
+// embedders, tests — never fight over process-global state the way the
+// package-level SetShards/SetCacheDir knobs would make them.
+//
+//	sess, err := spmv.NewSession(spmv.SessionOptions{CacheDir: dir, K: 8})
+//	defer sess.Close()
+//	f, err := sess.Auto(m, spmv.AutoOptions{Probe: true})
+//
+// The package-level Auto, NewUpdatable, SetShards and SetCacheDir remain
+// supported as a thin wrapper over the default session (DefaultSession):
+// existing callers keep their exact behavior.
+type Session = session.Session
+
+// SessionOptions configures NewSession.
+type SessionOptions = session.Options
+
+// NewSession opens an isolated selection session. With CacheDir set, the
+// session's journal opens there directly (creating the directory as
+// needed) and warm-loads: prior decisions resolve with zero probes, prior
+// probe outcomes seed the session's experience base. An empty CacheDir
+// gives a memory-only session. Close releases the journal handle.
+func NewSession(o SessionOptions) (*Session, error) { return session.New(o) }
+
+// DefaultSession returns the process-wide default session — the state the
+// package-level facade functions operate on (the global decision cache
+// and experience base, the SetCacheDir journal, the SetShards/topology
+// shard count). Useful to pass "the legacy globals" where a *Session is
+// expected, e.g. to a server registry that should share the process
+// journal.
+func DefaultSession() *Session { return session.Default() }
+
+// SetShards overrides the execution-pool shard count process-wide; n <= 0
+// removes the override, restoring the SPMV_SHARDS / detected-topology
+// default. Returns the previous override (0 if none). This is default-
+// session state: every multiply and every decision key in the process
+// observes it. Callers needing a scoped shard context without flipping
+// the process should record it in a Session (SessionOptions.Shards)
+// instead.
+func SetShards(n int) int { return topo.SetShards(n) }
+
+// Shards returns the execution-pool shard count currently in effect:
+// the SetShards override, else SPMV_SHARDS, else the detected topology
+// domain count.
+func Shards() int { return topo.Shards() }

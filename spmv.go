@@ -33,8 +33,6 @@ package spmv
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"io"
 
 	"repro/internal/bench"
@@ -107,15 +105,17 @@ func Formats() []FormatBuilder { return formats.Registry() }
 
 // Argument errors returned by the Multiply entry points. They replace the
 // panics (and, for short slices, silent corruption) a served system cannot
-// afford; test with errors.Is.
+// afford; test with errors.Is. The identities live in internal/formats so
+// the serving layer (internal/serve) maps the very same errors to HTTP
+// statuses a linked caller would see from the facade.
 var (
 	// ErrNilFormat reports a nil Format argument.
-	ErrNilFormat = errors.New("spmv: nil format")
+	ErrNilFormat = formats.ErrNilFormat
 	// ErrInvalidK reports a non-positive right-hand-side count.
-	ErrInvalidK = errors.New("spmv: invalid k")
+	ErrInvalidK = formats.ErrInvalidK
 	// ErrDimension reports x or y vectors (nil, short, or long) that do
 	// not match the matrix shape and k.
-	ErrDimension = errors.New("spmv: dimension mismatch")
+	ErrDimension = formats.ErrDimension
 )
 
 // PanicError is a kernel panic contained by the execution engine: the
@@ -126,17 +126,7 @@ type PanicError = exec.PanicError
 // checkArgs validates the shared multiply arguments; every facade entry
 // point rejects bad calls here before any kernel or engine work.
 func checkArgs(f Format, y, x []float64, k int) error {
-	if f == nil {
-		return ErrNilFormat
-	}
-	if k <= 0 {
-		return fmt.Errorf("%w: k = %d (want >= 1)", ErrInvalidK, k)
-	}
-	if len(x) != f.Cols()*k || len(y) != f.Rows()*k {
-		return fmt.Errorf("%w: x %d y %d for %dx%d with k = %d",
-			ErrDimension, len(x), len(y), f.Rows(), f.Cols(), k)
-	}
-	return nil
+	return formats.CheckArgs(f, y, x, k)
 }
 
 // Multiply computes y = A*x on the execution engine with the machine's
