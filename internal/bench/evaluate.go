@@ -132,7 +132,7 @@ func Experiments() []Experiment {
 		{"fig9", "Regularity evolution under fixed features (Fig 9)", RunFig9},
 		{"native", "Native-engine format comparison on this host", RunNative},
 		{"spmm", "Fused multi-vector SpMV (SpMM) vs sequential baseline", RunSpMM},
-		{"simd", "SIMD dispatch A/B: accelerated kernels vs scalar references", RunSIMD},
+		{"simd", "SIMD dispatch tiers: scalar vs AVX2 vs AVX-512", RunSIMD},
 		{"select", "Auto format selection vs exhaustive search (retained performance)", RunSelect},
 		{"update", "Updatable overlay overhead and compaction timings", RunUpdate},
 		{"serve", "Batch-coalesced serving vs per-request dispatch", RunServe},

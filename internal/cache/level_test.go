@@ -1,0 +1,121 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/simd"
+)
+
+// TestJournalSurvivesLevelCap covers the cap/fingerprint interaction: a
+// journal written under a SIMD level cap must not be invalidated when a
+// later run on the same machine uses a different level — the host
+// fingerprint tracks the detected hardware, and records are scoped to the
+// dispatch level they were measured under, surviving other levels'
+// compactions.
+func TestJournalSurvivesLevelCap(t *testing.T) {
+	if !simd.Available() {
+		t.Skip("no accelerated kernels on this host")
+	}
+	dir := t.TempDir()
+	prev := simd.SetLevel("avx2")
+	defer simd.SetLevel(prev)
+
+	// Run 1: capped at avx2, journal a decision and a tune winner.
+	capped := HostFingerprint()
+	k1 := DecisionKey{Fingerprint: 11, Device: "host", K: 1, Shards: 1}
+	tk := TuneKey{Fingerprint: 11, Device: "host", K: 8, Param: "bcsr.block"}
+	st1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1.AppendDecision(k1, Decision{Format: "ELL"})
+	st1.AppendTune(tk, "4x4")
+	st1.Close()
+
+	// Run 2: a different dispatch level on the same machine. The journal
+	// must load without wholesale invalidation; the capped run's records
+	// are not evidence here but must survive this run's compaction.
+	simd.SetLevel("scalar")
+	if got := HostFingerprint(); got != capped {
+		t.Fatalf("host fingerprint changed with the cap: %q vs %q", got, capped)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := st2.Stats(); st.Invalidated {
+		t.Fatalf("capped journal invalidated wholesale: %+v", st)
+	} else if st.Foreign < 2 {
+		t.Errorf("foreign (other-level) records carried = %d, want >= 2", st.Foreign)
+	}
+	if keys, _ := st2.Decisions(); len(keys) != 0 {
+		t.Errorf("other level's decisions loaded as evidence: %+v", keys)
+	}
+	if keys, _ := st2.Tunes(); len(keys) != 0 {
+		t.Errorf("other level's tunes loaded as evidence: %+v", keys)
+	}
+	k2 := DecisionKey{Fingerprint: 22, Device: "host", K: 1, Shards: 1}
+	st2.AppendDecision(k2, Decision{Format: "Naive-CSR"})
+	if err := st2.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	st2.Close()
+
+	// Run 3: back under the cap — the capped records resurface, the
+	// scalar run's are now the foreign ones.
+	simd.SetLevel("avx2")
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if st := st3.Stats(); st.Invalidated {
+		t.Fatalf("journal invalidated after cross-level compaction: %+v", st)
+	}
+	keys, decs := st3.Decisions()
+	if len(keys) != 1 || keys[0] != k1 || decs[0].Format != "ELL" {
+		t.Errorf("capped decision lost across a scalar run's compaction: %+v %+v", keys, decs)
+	}
+	tkeys, tvals := st3.Tunes()
+	if len(tkeys) != 1 || tkeys[0] != tk || tvals[0] != "4x4" {
+		t.Errorf("capped tune lost across a scalar run's compaction: %+v %+v", tkeys, tvals)
+	}
+}
+
+// TestTuneJournalRoundTrip exercises the "autotune" record kind end to
+// end: journal winners, reopen, warm-load a TuneCache, and supersede a
+// value.
+func TestTuneJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTuneCache()
+	tc.AttachStore(st)
+	ka := TuneKey{Fingerprint: 7, Device: "host", K: 8, Param: "bcsr.block"}
+	kb := TuneKey{Fingerprint: 7, Device: "host", K: 8, Param: "spmm.tile"}
+	tc.Put(ka, "2x2")
+	tc.Put(kb, "8")
+	tc.Put(ka, "4x4") // supersedes 2x2: last line wins on reload
+	st.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if st := re.Stats(); st.Tunes != 2 {
+		t.Fatalf("reloaded %d tunes, want 2 (%+v)", st.Tunes, st)
+	}
+	warm := NewTuneCache()
+	if n := warm.AttachStore(re); n != 2 {
+		t.Fatalf("warm-loaded %d tunes, want 2", n)
+	}
+	if v, ok := warm.Get(ka); !ok || v != "4x4" {
+		t.Errorf("bcsr.block = %q, %v; want 4x4 (superseding line must win)", v, ok)
+	}
+	if v, ok := warm.Get(kb); !ok || v != "8" {
+		t.Errorf("spmm.tile = %q, %v; want 8", v, ok)
+	}
+}

@@ -67,6 +67,15 @@ const (
 	// compactDeadMin is how many superseded (dead) journal lines accumulate
 	// before an append triggers an automatic compaction.
 	compactDeadMin = 1024
+
+	// maxJournalTunes bounds the in-memory autotune mirror like
+	// maxJournalDecisions bounds decisions.
+	maxJournalTunes = 4 * DefaultTuneCap
+
+	// maxForeignLines bounds how many other-level records a load carries
+	// through compactions for the runs that can use them; overflow becomes
+	// dead weight.
+	maxForeignLines = 4096
 )
 
 // dirOverride is the SetDir override; guarded by dirMu.
@@ -153,14 +162,29 @@ func Dir() (string, error) {
 // belong to — including the usable parallelism (GOMAXPROCS), because the
 // host device model and every micro-probe run at that width: a decision
 // probed under 2 workers is not evidence about a 32-worker process even
-// on the same chip. The active SIMD dispatch level is part of the context
-// too: probe outcomes measured with AVX2 kernels are not evidence for a
-// scalar-forced (SPMV_NOSIMD) process, whose format ranking can differ.
-// Decisions made in one context are not evidence about another, so a
-// fingerprint mismatch invalidates the journal.
+// on the same chip. The SIMD component is the *detected* hardware tier,
+// not the dispatched one: a run capped with SPMV_SIMD_LEVEL=avx2 on an
+// AVX-512 box is still the same machine, and its journal must not be
+// invalidated wholesale when the next run lifts the cap. The cap's effect
+// travels per record instead — every decision and experience line carries
+// the dispatch level it was measured under (see EffectiveLevel), and load
+// filters records from other levels without discarding them.
 func HostFingerprint() string {
 	return fmt.Sprintf("%s/%s/cpu%d/p%d/%s", runtime.GOOS, runtime.GOARCH,
-		runtime.NumCPU(), runtime.GOMAXPROCS(0), simd.Level())
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), simd.DetectedLevel())
+}
+
+// EffectiveLevel is the dispatch level measurements in this process are
+// evidence for: "scalar" when acceleration is off (SPMV_NOSIMD or a
+// scalar cap), otherwise the dispatched tier. Probe outcomes measured
+// with AVX2 kernels are not evidence for a scalar-forced process, whose
+// format ranking can differ — so records from other levels are skipped on
+// load (but survive compaction for the run that can use them).
+func EffectiveLevel() string {
+	if !simd.Enabled() {
+		return "scalar"
+	}
+	return simd.Level()
 }
 
 // Experience is one probe outcome: the feature vector of a matrix whose
@@ -176,22 +200,30 @@ type Experience struct {
 
 // record is one JSONL journal line. Kind selects which fields are live:
 // "header" pins schema+host, "decision" carries a DecisionKey/Decision
-// pair, "experience" carries a probe outcome.
+// pair, "experience" carries a probe outcome, "autotune" a structural
+// parameter winner (block shape, tile width) keyed like a decision plus
+// the parameter name. Non-header records carry the dispatch level they
+// were measured under (Lvl); load keeps only the current level's.
 type record struct {
 	V    int    `json:"v"`
 	Kind string `json:"kind"`
+	Lvl  string `json:"lvl,omitempty"`
 
 	// header
 	Schema int    `json:"schema,omitempty"`
 	Host   string `json:"host,omitempty"`
 
-	// decision
+	// decision (FP/Device/K also key autotune records)
 	FP     uint64 `json:"fp,omitempty"`
 	Device string `json:"device,omitempty"`
 	K      int    `json:"k,omitempty"`
 	Shards int    `json:"shards,omitempty"`
 	Format string `json:"format,omitempty"`
 	Probed bool   `json:"probed,omitempty"`
+
+	// autotune
+	Param string `json:"param,omitempty"`
+	Value string `json:"value,omitempty"`
 
 	// experience
 	Exp *Experience `json:"exp,omitempty"`
@@ -202,6 +234,8 @@ type StoreStats struct {
 	Path        string // journal file path
 	Decisions   int    // live decisions loaded at open
 	Experiences int    // experience records loaded at open
+	Tunes       int    // autotune records loaded at open
+	Foreign     int    // other-level records carried, not evidence here
 	Appended    int    // records appended by this process
 	Dead        int    // superseded lines awaiting compaction
 	Invalidated bool   // open discarded a journal from another schema/host
@@ -240,11 +274,20 @@ type Store struct {
 	decisions   map[DecisionKey]Decision
 	order       []DecisionKey // journal order of decisions (oldest first)
 	experiences []Experience
+	tunes       map[TuneKey]string
+	tuneOrder   []TuneKey // journal order of tunes (oldest first)
+
+	// lvl is the dispatch level this store's records are evidence for,
+	// captured at Open (see EffectiveLevel); foreign holds raw lines from
+	// other levels, skipped on load but rewritten by compaction.
+	lvl     string
+	foreign [][]byte
 
 	dead        int // superseded decision lines in the file
 	appended    int
 	loadedDec   int
 	loadedExp   int
+	loadedTune  int
 	headerOK    bool // a valid local header already leads the file
 	invalidated bool
 	skipped     int
@@ -294,6 +337,8 @@ func Open(dir string) (*Store, error) {
 	s := &Store{
 		path:      path,
 		decisions: make(map[DecisionKey]Decision),
+		tunes:     make(map[TuneKey]string),
+		lvl:       EffectiveLevel(),
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		s.degradeLocked("create dir", err)
@@ -367,6 +412,9 @@ func (s *Store) load(path string) {
 				s.decisions = make(map[DecisionKey]Decision)
 				s.order = s.order[:0]
 				s.experiences = s.experiences[:0]
+				s.tunes = make(map[TuneKey]string)
+				s.tuneOrder = s.tuneOrder[:0]
+				s.foreign = s.foreign[:0]
 				s.invalidated = true
 				s.drain(sc)
 				s.loadedDec, s.loadedExp = 0, 0
@@ -375,6 +423,16 @@ func (s *Store) load(path string) {
 			s.headerOK = true
 		case r.V != SchemaVersion:
 			s.skipped++
+		case r.Lvl != s.lvl:
+			// Same machine, different dispatch level (a capped run's
+			// records, or this run reading an uncapped journal): not
+			// evidence here, but live for the run that measured them —
+			// carried through compactions verbatim, bounded.
+			if len(s.foreign) < maxForeignLines {
+				s.foreign = append(s.foreign, append([]byte(nil), line...))
+			} else {
+				s.dead++
+			}
 		case r.Kind == "decision":
 			k := DecisionKey{Fingerprint: r.FP, Device: r.Device, K: r.K, Shards: r.Shards}
 			if _, seen := s.decisions[k]; seen {
@@ -390,6 +448,15 @@ func (s *Store) load(path string) {
 				s.dead += len(s.experiences) - maxJournalExperiences
 				s.experiences = s.experiences[len(s.experiences)-maxJournalExperiences:]
 			}
+		case r.Kind == "autotune":
+			k := TuneKey{Fingerprint: r.FP, Device: r.Device, K: r.K, Param: r.Param}
+			if _, seen := s.tunes[k]; seen {
+				s.dead++
+			} else {
+				s.tuneOrder = append(s.tuneOrder, k)
+			}
+			s.tunes[k] = r.Value
+			s.evictTunesLocked()
 		default:
 			s.skipped++
 		}
@@ -397,6 +464,7 @@ func (s *Store) load(path string) {
 	// A scanner error (torn tail, over-long line) just ends the load early.
 	s.loadedDec = len(s.decisions)
 	s.loadedExp = len(s.experiences)
+	s.loadedTune = len(s.tunes)
 }
 
 // evictDecisionsLocked drops the oldest-journaled decisions past the
@@ -407,6 +475,17 @@ func (s *Store) evictDecisionsLocked() {
 	for len(s.order) > maxJournalDecisions {
 		delete(s.decisions, s.order[0])
 		s.order = s.order[1:]
+		s.dead++
+	}
+}
+
+// evictTunesLocked drops the oldest-journaled tunes past the in-memory
+// bound, like evictDecisionsLocked. Callers hold s.mu (or own s during
+// load).
+func (s *Store) evictTunesLocked() {
+	for len(s.tuneOrder) > maxJournalTunes {
+		delete(s.tunes, s.tuneOrder[0])
+		s.tuneOrder = s.tuneOrder[1:]
 		s.dead++
 	}
 }
@@ -460,7 +539,7 @@ func (s *Store) AppendDecision(k DecisionKey, d Decision) {
 	s.decisions[k] = d
 	s.evictDecisionsLocked()
 	s.appendLocked(record{
-		V: SchemaVersion, Kind: "decision",
+		V: SchemaVersion, Kind: "decision", Lvl: s.lvl,
 		FP: k.Fingerprint, Device: k.Device, K: k.K, Shards: k.Shards,
 		Format: d.Format, Probed: d.Probed,
 	})
@@ -468,6 +547,44 @@ func (s *Store) AppendDecision(k DecisionKey, d Decision) {
 	// cache's mutex, and a journal rewrite (fsync + rename) there would
 	// stall every concurrent Get. The cache triggers compaction after
 	// releasing its lock (see DecisionCache.Put / NeedsCompact).
+}
+
+// Tunes returns the autotune winners loaded at Open, in journal order,
+// for warm-loading an in-memory cache.
+func (s *Store) Tunes() (keys []TuneKey, values []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys = make([]TuneKey, len(s.tuneOrder))
+	values = make([]string, len(s.tuneOrder))
+	for i, k := range s.tuneOrder {
+		keys[i] = k
+		values[i] = s.tunes[k]
+	}
+	return keys, values
+}
+
+// AppendTune journals one autotune winner. Identical re-puts are dropped;
+// a changed value for a known key marks the old line dead.
+func (s *Store) AppendTune(k TuneKey, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.tunes[k]; ok {
+		if prev == value {
+			return
+		}
+		s.dead++
+	} else {
+		s.tuneOrder = append(s.tuneOrder, k)
+	}
+	s.tunes[k] = value
+	s.evictTunesLocked()
+	s.appendLocked(record{
+		V: SchemaVersion, Kind: "autotune", Lvl: s.lvl,
+		FP: k.Fingerprint, Device: k.Device, K: k.K, Param: k.Param,
+		Value: value,
+	})
+	// Like AppendDecision, no auto-compaction here: the tune cache calls
+	// under its own mutex and triggers compaction after releasing it.
 }
 
 // NeedsCompact reports whether enough dead lines have accumulated that
@@ -487,7 +604,7 @@ func (s *Store) AppendExperience(e Experience) {
 		s.dead += len(s.experiences) - maxJournalExperiences
 		s.experiences = s.experiences[len(s.experiences)-maxJournalExperiences:]
 	}
-	s.appendLocked(record{V: SchemaVersion, Kind: "experience", Exp: &e})
+	s.appendLocked(record{V: SchemaVersion, Kind: "experience", Lvl: s.lvl, Exp: &e})
 	if s.dead >= compactDeadMin {
 		_ = s.compactLocked()
 	}
@@ -622,7 +739,7 @@ func (s *Store) rewriteLocked() error {
 	for _, k := range s.order {
 		d := s.decisions[k]
 		if err := write(record{
-			V: SchemaVersion, Kind: "decision",
+			V: SchemaVersion, Kind: "decision", Lvl: s.lvl,
 			FP: k.Fingerprint, Device: k.Device, K: k.K, Shards: k.Shards,
 			Format: d.Format, Probed: d.Probed,
 		}); err != nil {
@@ -630,9 +747,31 @@ func (s *Store) rewriteLocked() error {
 			return err
 		}
 	}
+	for _, k := range s.tuneOrder {
+		if err := write(record{
+			V: SchemaVersion, Kind: "autotune", Lvl: s.lvl,
+			FP: k.Fingerprint, Device: k.Device, K: k.K, Param: k.Param,
+			Value: s.tunes[k],
+		}); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
 	for _, e := range s.experiences {
 		exp := e
-		if err := write(record{V: SchemaVersion, Kind: "experience", Exp: &exp}); err != nil {
+		if err := write(record{V: SchemaVersion, Kind: "experience", Lvl: s.lvl, Exp: &exp}); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	// Other-level records ride along verbatim: they are live evidence for
+	// the (capped or uncapped) run that measured them.
+	for _, raw := range s.foreign {
+		if _, err := w.Write(raw); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
 			tmp.Close()
 			return err
 		}
@@ -682,6 +821,8 @@ func (s *Store) Stats() StoreStats {
 		Path:           s.path,
 		Decisions:      s.loadedDec,
 		Experiences:    s.loadedExp,
+		Tunes:          s.loadedTune,
+		Foreign:        len(s.foreign),
 		Appended:       s.appended,
 		Dead:           s.dead,
 		Invalidated:    s.invalidated,

@@ -86,7 +86,7 @@ func TestStoreCorruptionTolerance(t *testing.T) {
 	// torn (truncated mid-JSON, no newline) tail.
 	fmt.Fprintf(f, "\x00\x7f\xffnot json at all\n")
 	fmt.Fprintf(f, `{"v":99,"kind":"decision","fp":3,"device":"host","k":1,"shards":1,"format":"Ghost"}`+"\n")
-	fmt.Fprintf(f, `{"v":%d,"kind":"decision","fp":4,"device":"host","k":1,"shards":1,"format":"COO"}`+"\n", SchemaVersion)
+	fmt.Fprintf(f, `{"v":%d,"kind":"decision","lvl":%q,"fp":4,"device":"host","k":1,"shards":1,"format":"COO"}`+"\n", SchemaVersion, EffectiveLevel())
 	fmt.Fprintf(f, `{"v":%d,"kind":"decision","fp":5,"device":"ho`, SchemaVersion)
 	f.Close()
 

@@ -29,6 +29,12 @@ type AutoChoice struct {
 	Cached    bool               // decision came from the decision cache
 	Learned   bool               // the experience base steered the shortlist
 	ProbeNs   map[string]float64 // measured ns/op per probed candidate
+	// Tuned records the autotuned structural parameters applied to the
+	// built instance (e.g. "bcsr.block" -> "4x4", "spmm.tile" -> "8").
+	Tuned map[string]string
+	// VecWideRowMin is the wide-row cutoff the row-length inspector set on
+	// the instance (0: inspector not applicable / not run).
+	VecWideRowMin int
 }
 
 // Auto is the storage format produced by the selection subsystem: a thin

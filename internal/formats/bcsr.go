@@ -23,7 +23,12 @@ type BCSR struct {
 	blkCol     []int32   // block-column index per block
 	val        []float64 // br*bc per block
 	plans      exec.PlanCache
+	// noWideTiles disables the 8-vector SpMM register tile (see CSR).
+	noWideTiles bool
 }
+
+// SetWideTiles toggles the 8-vector SpMM register tile (WideTiler).
+func (f *BCSR) SetWideTiles(on bool) { f.noWideTiles = !on }
 
 // MaxBCSRFillRatio bounds the zero fill: construction fails when the blocked
 // image exceeds this multiple of the nonzero count.
@@ -260,6 +265,7 @@ func (f *BCSR) blockRowRangeMulti2x2(x, y []float64, k, lo, hi int) {
 	rowPtr, blkCol, val := f.rowPtr, f.blkCol, f.val
 	cols := f.cols
 	useSIMD := simd.Enabled()
+	wide := !f.noWideTiles && useSIMD && simd.Width() >= 8
 	for bi := lo; bi < hi; bi++ {
 		row := bi * 2
 		bLo, bEnd := int(rowPtr[bi]), int(rowPtr[bi+1])
@@ -271,6 +277,38 @@ func (f *BCSR) blockRowRangeMulti2x2(x, y []float64, k, lo, hi int) {
 			nInterior--
 		}
 		t := 0
+		if wide && nInterior >= simdMinN {
+			// Wide tile: the dispatched kernel covers the interior prefix,
+			// the (at most one) edge block finishes in Go with the same
+			// per-lane pair-sum order — bit-identical throughout.
+			for ; t+multiTile8 <= k; t += multiTile8 {
+				lo8, hi8 := simd.Bcsr2x2Tile8(val[bLo*4:], blkCol[bLo:], x[t:], nInterior, k)
+				for b := bLo + nInterior; b < bEnd; b++ {
+					baseCol := int(blkCol[b]) * 2
+					off := b * 4
+					v0, v1, v2, v3 := val[off], val[off+1], val[off+2], val[off+3]
+					x0 := x[baseCol*k+t : baseCol*k+t+8 : baseCol*k+t+8]
+					if baseCol+2 <= cols {
+						x1 := x[(baseCol+1)*k+t : (baseCol+1)*k+t+8 : (baseCol+1)*k+t+8]
+						for u := 0; u < 8; u++ {
+							lo8[u] += v0*x0[u] + v1*x1[u]
+							hi8[u] += v2*x0[u] + v3*x1[u]
+						}
+					} else {
+						for u := 0; u < 8; u++ {
+							lo8[u] += v0 * x0[u]
+							hi8[u] += v2 * x0[u]
+						}
+					}
+				}
+				if row < f.rows {
+					copy(y[row*k+t:row*k+t+8], lo8[:])
+				}
+				if row+1 < f.rows {
+					copy(y[(row+1)*k+t:(row+1)*k+t+8], hi8[:])
+				}
+			}
+		}
 		for ; t+multiTile <= k; t += multiTile {
 			var s00, s01, s02, s03 float64
 			var s10, s11, s12, s13 float64

@@ -19,6 +19,28 @@ type CSR struct {
 	colIdx     []int32
 	val        []float64
 	plans      exec.PlanCache
+	// noWideTiles disables the 8-vector SpMM register tile for this
+	// instance (the autotuner sets it when the 4-wide tile measures faster
+	// on the matrix). Zero value: wide tiles allowed whenever the
+	// dispatched SIMD width is 8.
+	noWideTiles bool
+	// wideRowMin overrides the vectorized-CSR wide-path cutoff for this
+	// instance (see VecWideRowMin); 0 falls through to the process-wide
+	// setting. Set by the auto selector's row-length inspector.
+	wideRowMin int
+}
+
+// SetWideTiles toggles the 8-vector SpMM register tile (WideTiler).
+func (f *CSR) SetWideTiles(on bool) { f.noWideTiles = !on }
+
+// SetWideRowMin sets this instance's vectorized wide-path cutoff; n <= 0
+// restores the process-wide setting. Only the vectorized row kernels
+// (Vec-CSR, MKL-IE with vectorization) consult it.
+func (f *CSR) SetWideRowMin(n int) {
+	if n < 0 {
+		n = 0
+	}
+	f.wideRowMin = n
 }
 
 // NewCSR wraps a CSR matrix (sharing its storage; the matrix must not be
@@ -129,7 +151,7 @@ func (f *CSR) MultiplyMany(y, x []float64, k int) {
 func (f *CSR) multiplyMany(y, x []float64, k int, policy sched.Partitioner) {
 	workers := exec.Workers(f.work()*int64(k), exec.MaxWorkers())
 	if workers <= 1 {
-		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, 0, f.rows)
+		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, 0, f.rows, !f.noWideTiles)
 		return
 	}
 	g := exec.Acquire(workers)
@@ -137,7 +159,7 @@ func (f *CSR) multiplyMany(y, x []float64, k int, policy sched.Partitioner) {
 	pl := f.rangePlan(&g, policy)
 	ranges := pl.Ranges
 	g.RunPlan(pl, func(w int) {
-		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, ranges[w].RowLo, ranges[w].RowHi)
+		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, ranges[w].RowLo, ranges[w].RowHi, !f.noWideTiles)
 	})
 }
 
@@ -229,8 +251,9 @@ func SetVecWideRowMin(n int) int {
 // vecCSRRowRange is the unrolled CSR kernel: four independent accumulators
 // (eight for very long rows) hide the FP-add latency chain, short rows skip
 // the unroll entirely, and capped sub-slices drop the val/colIdx bounds
-// checks like the scalar kernel.
-func vecCSRRowRange(rowPtr, colIdx []int32, val, x, y []float64, lo, hi int) {
+// checks like the scalar kernel. wideMin is the per-instance wide-path
+// cutoff; 0 falls through to the process-wide VecWideRowMin.
+func vecCSRRowRange(rowPtr, colIdx []int32, val, x, y []float64, lo, hi, wideMin int) {
 	if simd.Enabled() {
 		// Dispatched path: the gather+FMA row dot-product. Like the wide
 		// scalar path it reassociates the per-row sum (8 partial sums), a
@@ -255,7 +278,9 @@ func vecCSRRowRange(rowPtr, colIdx []int32, val, x, y []float64, lo, hi int) {
 		}
 		return
 	}
-	wideMin := VecWideRowMin()
+	if wideMin <= 0 {
+		wideMin = VecWideRowMin()
+	}
 	end := int(rowPtr[lo])
 	for i := lo; i < hi; i++ {
 		start := end
@@ -297,7 +322,7 @@ func vecCSRRowRange(rowPtr, colIdx []int32, val, x, y []float64, lo, hi int) {
 // SpMV implements Format.
 func (f *VecCSR) SpMV(x, y []float64) {
 	checkShape(f.Name(), f.rows, f.cols, x, y)
-	vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows)
+	vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows, f.wideRowMin)
 }
 
 // SpMVParallel implements Format.
@@ -305,7 +330,7 @@ func (f *VecCSR) SpMVParallel(x, y []float64, workers int) {
 	checkShape(f.Name(), f.rows, f.cols, x, y)
 	workers = exec.Workers(f.work(), workers)
 	if workers <= 1 {
-		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows)
+		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, 0, f.rows, f.wideRowMin)
 		return
 	}
 	g := exec.Acquire(workers)
@@ -313,7 +338,7 @@ func (f *VecCSR) SpMVParallel(x, y []float64, workers int) {
 	pl := f.rangePlan(&g, sched.RowBlocks)
 	ranges := pl.Ranges
 	g.RunPlan(pl, func(w int) {
-		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, ranges[w].RowLo, ranges[w].RowHi)
+		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, ranges[w].RowLo, ranges[w].RowHi, f.wideRowMin)
 	})
 }
 
@@ -406,7 +431,7 @@ func (f *InspectorCSR) Traits() Traits {
 
 func (f *InspectorCSR) rowRange(x, y []float64, lo, hi int) {
 	if f.vectorize {
-		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, lo, hi)
+		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, lo, hi, f.wideRowMin)
 	} else {
 		csrRowRange(f.rowPtr, f.colIdx, f.val, x, y, lo, hi)
 	}

@@ -169,7 +169,7 @@ func (f *CSR) multiplyManyCtx(ctx context.Context, y, x []float64, k int, policy
 	ctl := exec.NewCtl(ctx)
 	workers := exec.Workers(f.work()*int64(k), exec.MaxWorkers())
 	kern := func(lo, hi int) {
-		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, lo, hi)
+		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, lo, hi, !f.noWideTiles)
 	}
 	if workers <= 1 {
 		chunkCtx(ctl, 0, f.rows, ctxGrain(k), f.rowCum, kern)
@@ -188,7 +188,7 @@ func (f *CSR) multiplyManyCtx(ctx context.Context, y, x []float64, k int, policy
 func (f *VecCSR) SpMVCtx(ctx context.Context, x, y []float64, workers int) error {
 	checkShape(f.Name(), f.rows, f.cols, x, y)
 	return f.spmvCtx(ctx, x, y, workers, sched.RowBlocks, func(lo, hi int) {
-		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, lo, hi)
+		vecCSRRowRange(f.rowPtr, f.colIdx, f.val, x, y, lo, hi, f.wideRowMin)
 	})
 }
 

@@ -20,7 +20,12 @@ type ELL struct {
 	val        []float64 // same layout; padding entries hold value 0, col 0
 	rowLen     []int32   // stored entries per row (excludes tail padding)
 	plans      exec.PlanCache
+	// noWideTiles disables the 8-vector SpMM register tile (see CSR).
+	noWideTiles bool
 }
+
+// SetWideTiles toggles the 8-vector SpMM register tile (WideTiler).
+func (f *ELL) SetWideTiles(on bool) { f.noWideTiles = !on }
 
 // MaxELLPaddedEntries bounds the dense ELL allocation; construction fails
 // beyond it, mirroring the memory blow-up that makes ELL unusable for
@@ -176,10 +181,17 @@ func (f *ELL) rowRangeMulti(x, y []float64, k, lo, hi int) {
 	rows := f.rows
 	colIdx, val, rowLen := f.colIdx, f.val, f.rowLen
 	useSIMD := simd.Enabled()
+	wide := !f.noWideTiles && useSIMD && simd.Width() >= 8
 	for i := lo; i < hi; i++ {
 		wi := int(rowLen[i])
 		yi := y[i*k : i*k+k : i*k+k]
 		t := 0
+		if wide && wi >= simdMinN {
+			for ; t+multiTile8 <= k; t += multiTile8 {
+				d := simd.DotBcastTile8(val[i:], colIdx[i:], x[t:], rows, wi, k)
+				copy(yi[t:t+multiTile8], d[:])
+			}
+		}
 		if useSIMD && wi >= simdMinN {
 			// Dispatched path: broadcast-tile over the strided slab row.
 			// Per tile vector a sequential mul-then-add sum in ascending
@@ -243,6 +255,10 @@ type HYB struct {
 	ell        *ELL
 	spill      *COO
 }
+
+// SetWideTiles toggles the 8-vector SpMM register tile of the ELL part
+// (the COO spill has no fused wide tile) — WideTiler.
+func (f *HYB) SetWideTiles(on bool) { f.ell.SetWideTiles(on) }
 
 // NewHYB builds the hybrid format with the threshold at the mean row length.
 func NewHYB(m *matrix.CSR) (*HYB, error) {

@@ -56,6 +56,22 @@ type Format interface {
 	Traits() Traits
 }
 
+// WideTiler is implemented by formats whose fused SpMM kernels carry a
+// selectable 8-vector register tile (engaged only when the dispatched
+// SIMD width is 8). The autotuner toggles it per matrix: on matrices with
+// short rows the wide tile's halved accumulator count can lose to the
+// 4-vector tile. Instances default to wide tiles on.
+type WideTiler interface {
+	SetWideTiles(on bool)
+}
+
+// WideRowTuner is implemented by the CSR-family formats whose vectorized
+// row kernels have a wide-path cutoff the selector's row-length inspector
+// derives per matrix (see VecWideRowMin).
+type WideRowTuner interface {
+	SetWideRowMin(n int)
+}
+
 // Balancing classifies a format's work-distribution discipline.
 type Balancing int
 

@@ -116,7 +116,7 @@ func (f *MergeCSR) MultiplyMany(y, x []float64, k int) {
 	checkShapeMulti(f.Name(), f.rows, f.cols, y, x, k)
 	workers := exec.Workers(f.work()*int64(k), exec.MaxWorkers())
 	if workers <= 1 {
-		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, 0, f.rows)
+		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, 0, f.rows, !f.noWideTiles)
 		return
 	}
 	g := exec.Acquire(workers)
@@ -127,6 +127,6 @@ func (f *MergeCSR) MultiplyMany(y, x []float64, k int) {
 	})
 	ranges := pl.Ranges
 	g.RunPlan(pl, func(w int) {
-		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, ranges[w].RowLo, ranges[w].RowHi)
+		csrRowRangeMulti(f.rowPtr, f.colIdx, f.val, x, y, k, ranges[w].RowLo, ranges[w].RowHi, !f.noWideTiles)
 	})
 }

@@ -31,6 +31,13 @@ import (
 // in blocks of this many vectors.
 const multiTile = 4
 
+// multiTile8 is the wide register tile used when the dispatched SIMD width
+// is 8 (AVX-512): one ZMM register holds the whole tile's x operands. The
+// wide tile is per-instance tunable — see WideTiler — because doubling the
+// tile halves the number of live accumulator sets and can lose to the
+// 4-wide tile on matrices with short rows.
+const multiTile8 = 8
+
 // simdMinN is the minimum inner-loop trip count at which the dispatched
 // micro-kernels (internal/simd) beat the inlined scalar loops. Below it —
 // tridiagonal-style rows, near-empty chunks — the indirect call and gather
@@ -75,9 +82,11 @@ func multiplyManyByColumn(f Format, y, x []float64, k int) {
 // product. Each row's (value, column) stream is walked once per 4-vector
 // tile with the tile's partial sums in registers, so every loaded nonzero
 // feeds 4 FMAs; the 1-3 vector tail reruns the stream with a narrower
-// accumulator set.
-func csrRowRangeMulti(rowPtr, colIdx []int32, val, x, y []float64, k, lo, hi int) {
+// accumulator set. wide enables the 8-vector tile when the dispatched
+// SIMD width is 8.
+func csrRowRangeMulti(rowPtr, colIdx []int32, val, x, y []float64, k, lo, hi int, wide bool) {
 	useSIMD := simd.Enabled()
+	wide = wide && useSIMD && simd.Width() >= 8
 	for i := lo; i < hi; i++ {
 		start := int(rowPtr[i])
 		end := int(rowPtr[i+1])
@@ -86,6 +95,12 @@ func csrRowRangeMulti(rowPtr, colIdx []int32, val, x, y []float64, k, lo, hi int
 		v = v[:len(c)]
 		yi := y[i*k : i*k+k : i*k+k]
 		t := 0
+		if wide && len(c) >= simdMinN {
+			for ; t+multiTile8 <= k; t += multiTile8 {
+				d := simd.DotBcastTile8(v, c, x[t:], 1, len(c), k)
+				copy(yi[t:t+multiTile8], d[:])
+			}
+		}
 		if useSIMD && len(c) >= simdMinN {
 			// Dispatched path: broadcast-tile over the row's entry stream
 			// (stride 1) — bit-identical per tile vector.

@@ -25,7 +25,12 @@ type SELLCS struct {
 	colIdx     []int32
 	val        []float64
 	plans      exec.PlanCache
+	// noWideTiles disables the 8-vector SpMM register tile (see CSR).
+	noWideTiles bool
 }
+
+// SetWideTiles toggles the 8-vector SpMM register tile (WideTiler).
+func (f *SELLCS) SetWideTiles(on bool) { f.noWideTiles = !on }
 
 // Default SELL-C-sigma tuning, matching common CPU configurations.
 const (
@@ -163,6 +168,7 @@ func (f *SELLCS) chunkRange(x, y []float64, chLo, chHi int) {
 	}
 	val, colIdx := f.val, f.colIdx
 	useSIMD := simd.Enabled() && c%4 == 0
+	wide8 := useSIMD && simd.Width() >= 8
 	for ch := chLo; ch < chHi; ch++ {
 		base := f.chunkPtr[ch]
 		width := int(f.chunkLen[ch])
@@ -174,10 +180,20 @@ func (f *SELLCS) chunkRange(x, y []float64, chLo, chHi int) {
 		vs := val[base : base+slab : base+slab]
 		vs = vs[:len(cs)]
 		if useSIMD && width >= simdMinN {
-			// Dispatched path: each 4-lane group sweeps the chunk slab with
+			// Dispatched path: each lane group sweeps the chunk slab with
 			// stride c. Per lane a sequential sum in ascending column order
-			// — bit-identical to the scalar lane loop.
-			for lg := 0; lg+4 <= c; lg += 4 {
+			// — bit-identical to the scalar lane loop. 8-lane groups go
+			// through the wide kernel when the dispatched width allows
+			// (its AVX2 fallback composes two 4-lane sweeps, still
+			// bit-identical), the remainder through the 4-lane kernel.
+			lg := 0
+			if wide8 {
+				for ; lg+8 <= c; lg += 8 {
+					r := simd.LaneDot8(vs[lg:], cs[lg:], x, c, width)
+					copy(sums[lg:lg+8], r[:])
+				}
+			}
+			for ; lg+4 <= c; lg += 4 {
 				r := simd.LaneDot4(vs[lg:], cs[lg:], x, c, width)
 				sums[lg], sums[lg+1], sums[lg+2], sums[lg+3] = r[0], r[1], r[2], r[3]
 			}
@@ -246,6 +262,7 @@ func (f *SELLCS) chunkRangeMulti(x, y []float64, k, chLo, chHi int) {
 	c := f.c
 	val, colIdx, rows := f.val, f.colIdx, f.rows
 	useSIMD := simd.Enabled()
+	wide := !f.noWideTiles && useSIMD && simd.Width() >= 8
 	for ch := chLo; ch < chHi; ch++ {
 		base := f.chunkPtr[ch]
 		width := int(f.chunkLen[ch])
@@ -261,6 +278,12 @@ func (f *SELLCS) chunkRangeMulti(x, y []float64, k, chLo, chHi int) {
 			row := int(f.perm[s])
 			yb := y[row*k : row*k+k : row*k+k]
 			t := 0
+			if wide && width >= simdMinN {
+				for ; t+multiTile8 <= k; t += multiTile8 {
+					d := simd.DotBcastTile8(vs[lane:], cs[lane:], x[t:], c, width, k)
+					copy(yb[t:t+multiTile8], d[:])
+				}
+			}
 			if useSIMD && width >= simdMinN {
 				// Dispatched path: broadcast-tile over the lane's strided
 				// slab walk — bit-identical per tile vector.

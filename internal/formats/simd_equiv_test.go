@@ -60,6 +60,75 @@ func TestSIMDScalarEquivalence(t *testing.T) {
 	}
 }
 
+// TestSIMDLevelEquivalence sweeps the tier cap (SetLevel) across every
+// level the host clamps to, on every registry format, single- and
+// multi-vector (k in {1,4,8}), over both the standard equivalence pair
+// and the lane-unaligned tail matrices whose every row exercises the
+// masked-tail / remainder paths. Each accelerated tier is compared
+// against the scalar dispatch of the same built instance; the tolerance
+// policy is evaluated while the tier is active, so the per-kernel
+// reassociation rules (e.g. BCSR on the AVX-512 rung) apply exactly when
+// that implementation is the one dispatched.
+func TestSIMDLevelEquivalence(t *testing.T) {
+	if !simd.Available() {
+		t.Skip("no accelerated kernels on this host")
+	}
+	prevEnabled := simd.SetEnabled(true)
+	defer simd.SetEnabled(prevEnabled)
+	prevCap := simd.SetLevel("scalar")
+	defer simd.SetLevel(prevCap)
+
+	mats := simdEquivMatrices(t)
+	for name, m := range testutil.UnalignedTailMatrices(t) {
+		mats[name] = m
+	}
+	for _, level := range []string{"avx2", "avx512"} {
+		simd.SetLevel(level)
+		if simd.Level() == "scalar" {
+			continue // host can't reach any accelerated tier
+		}
+		for mname, m := range mats {
+			x := matrix.RandomVector(m.Cols, 4242)
+			for _, b := range Registry() {
+				f, err := b.Build(m)
+				if err != nil {
+					continue
+				}
+				// Single-vector, serial and parallel.
+				yv := make([]float64, m.Rows)
+				ys := make([]float64, m.Rows)
+				for _, workers := range []int{1, 3} {
+					simd.SetLevel(level)
+					f.SpMVParallel(x, yv, workers)
+					simd.SetLevel("scalar")
+					f.SpMVParallel(x, ys, workers)
+					simd.SetLevel(level)
+					if i, ok := equalOrClose(b.Name, yv, ys); !ok {
+						t.Errorf("%s/%s/%s workers=%d: y[%d] accel=%v scalar=%v",
+							level, mname, b.Name, workers, i, yv[i], ys[i])
+						break
+					}
+				}
+				// Fused multi-vector across the register-tile widths.
+				for _, k := range []int{1, 4, 8} {
+					xk := matrix.RandomVector(m.Cols*k, 97)
+					ykv := make([]float64, m.Rows*k)
+					yks := make([]float64, m.Rows*k)
+					simd.SetLevel(level)
+					f.MultiplyMany(ykv, xk, k)
+					simd.SetLevel("scalar")
+					f.MultiplyMany(yks, xk, k)
+					simd.SetLevel(level)
+					if i, ok := equalOrClose(b.Name, ykv, yks); !ok {
+						t.Errorf("%s/%s/%s k=%d: y[%d] accel=%v scalar=%v",
+							level, mname, b.Name, k, i, ykv[i], yks[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestSIMDScalarEquivalenceMulti does the same for the k-wide fused
 // kernels across the register-tile widths the dispatch layer tiles by.
 func TestSIMDScalarEquivalenceMulti(t *testing.T) {

@@ -64,6 +64,17 @@ type AutoOptions struct {
 	// is process-wide hardware state; this field only scopes which cached
 	// decisions the build may reuse.
 	Shards int
+	// Tune enables the structural-parameter micro-autotuner: the BCSR
+	// block geometry and the fused SpMM register-tile width are measured
+	// on the probe's row-sampled harness (winners journaled per
+	// fingerprint), and the Vec-CSR wide-row cutoff is derived from the
+	// sampled row-length distribution. Like Probe, worth it for matrices
+	// multiplied more than a handful of times.
+	Tune bool
+	// Tunes overrides the autotune cache (nil: the process-wide
+	// cache.Tunes). Sessions pass their own so tuned winners stay
+	// session-local.
+	Tunes *cache.TuneCache
 }
 
 // BuildAuto selects a storage format for the matrix and builds it: the
@@ -151,6 +162,11 @@ func BuildAutoCtx(ctx context.Context, m *matrix.CSR, o AutoOptions) (*formats.A
 				choice.Cached = true
 				choice.Probed = d.Probed
 				choice.Shortlist = []string{d.Format}
+				if o.Tune {
+					// Journaled tune winners re-apply on the cached path;
+					// un-swept parameters are measured now, once.
+					f = applyTuning(ctx, m, f, k, o, &choice)
+				}
 				return formats.NewAuto(f, choice), nil
 			}
 			// A cached format that no longer builds (should not happen for
@@ -219,7 +235,33 @@ func BuildAutoCtx(ctx context.Context, m *matrix.CSR, o AutoOptions) (*formats.A
 	if !o.NoCache {
 		dc.Put(key, cache.Decision{Format: f.Name(), Probed: choice.Probed})
 	}
+	if o.Tune {
+		f = applyTuning(ctx, m, f, k, o, &choice)
+	}
 	return formats.NewAuto(f, choice), nil
+}
+
+// applyTuning runs the structural-parameter autotuner and the wide-row
+// inspector for the built format, recording what was tuned in the choice.
+// The format may be replaced (BCSR block-shape rebuilds).
+func applyTuning(ctx context.Context, m *matrix.CSR, f formats.Format, k int, o AutoOptions, choice *formats.AutoChoice) formats.Format {
+	tc := o.Tunes
+	if tc == nil {
+		tc = cache.Tunes
+	}
+	if m.NNZ() >= autoProbeMinNNZ {
+		var tuned map[string]string
+		f, tuned = autotune(ctx, m, f, choice.Device, k, o.SampleRows, tc)
+		if len(tuned) > 0 {
+			choice.Tuned = tuned
+		}
+	}
+	if wrt, ok := f.(formats.WideRowTuner); ok && f.Traits().Vectorizable {
+		n := vecWideRowMinFor(m)
+		wrt.SetWideRowMin(n)
+		choice.VecWideRowMin = n
+	}
+	return f
 }
 
 // promote moves name to the front of the shortlist, inserting it when the

@@ -198,6 +198,7 @@ func Persist(dir string) (*cache.Store, error) {
 	// without error).
 	old := cache.Decisions.Store()
 	cache.Decisions.AttachStore(st)
+	cache.Tunes.AttachStore(st)
 	if old != nil {
 		old.Close()
 	}
@@ -215,6 +216,7 @@ func Persist(dir string) (*cache.Store, error) {
 func Unpersist() {
 	if st := cache.Decisions.Store(); st != nil {
 		cache.Decisions.AttachStore(nil)
+		cache.Tunes.AttachStore(nil)
 		st.Close()
 	}
 	cache.SetDir("")

@@ -1,0 +1,210 @@
+package selector
+
+// Micro-autotuning of structural format parameters. The device model and
+// probe pick WHICH format to build; the tuner picks the width-dependent
+// knobs INSIDE the winner that hard-coded defaults used to fix: the BCSR
+// block geometry and the fused SpMM register-tile width, both measured on
+// the same row-sampled sub-matrix harness the micro-probe uses, plus the
+// Vec-CSR wide-row cutoff, derived (not timed) from the sampled
+// row-length distribution. Winners persist through the journal as
+// "autotune" records keyed by (fingerprint, device, k, parameter), so a
+// matrix pays each sweep once per machine context.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/exec"
+	"repro/internal/formats"
+	"repro/internal/matrix"
+	"repro/internal/simd"
+)
+
+// Autotuned parameter names (cache.TuneKey.Param).
+const (
+	// ParamBCSRBlock is the BCSR block geometry, value "BRxBC".
+	ParamBCSRBlock = "bcsr.block"
+	// ParamSpMMTile is the fused SpMM register-tile width, "4" or "8".
+	// Only swept when the dispatched SIMD width is 8 — below that the
+	// 8-wide tile never engages and the settings are identical.
+	ParamSpMMTile = "spmm.tile"
+)
+
+// bcsrShapes are the block geometries the tuner sweeps. 2x2 is the
+// default and the only shape with a dispatched micro-kernel; the wider
+// shapes trade the SIMD kernel for denser value blocks and fewer index
+// loads, which wins on strongly block-structured matrices.
+var bcsrShapes = []struct {
+	br, bc int
+	name   string
+}{
+	{2, 2, "2x2"}, {4, 4, "4x4"}, {2, 4, "2x4"}, {4, 2, "4x2"},
+}
+
+// vecRowLenSamples bounds the stride sample of the row-length
+// distribution the wide-row inspector reads.
+const vecRowLenSamples = 4096
+
+// autotune applies the parameter sweeps relevant to the chosen format,
+// consulting (and feeding) the tune cache so each sweep is measured once
+// per (fingerprint, device, k). It may replace f — a BCSR instance is
+// rebuilt when a non-default block shape wins — and returns the tuned
+// parameter map for the decision record. A cancelled ctx skips any sweep
+// not yet cached; already-known winners still apply.
+func autotune(ctx context.Context, m *matrix.CSR, f formats.Format, dev string, k, sampleRows int, tc *cache.TuneCache) (formats.Format, map[string]string) {
+	tuned := make(map[string]string)
+	fp := m.Fingerprint()
+	if sampleRows <= 0 {
+		sampleRows = DefaultProbeRows
+	}
+
+	if f.Name() == "BCSR" {
+		key := cache.TuneKey{Fingerprint: fp, Device: dev, K: k, Param: ParamBCSRBlock}
+		shape, ok := tc.Get(key)
+		if !ok && ctx.Err() == nil {
+			if shape = tuneBCSRShape(ctx, m, k, sampleRows); shape != "" {
+				tc.Put(key, shape)
+			}
+		}
+		if shape != "" {
+			if shape != "2x2" {
+				if br, bc, err := parseBlockShape(shape); err == nil {
+					if nf, err := formats.NewBCSR(m, br, bc); err == nil {
+						f = nf
+					}
+				}
+			}
+			tuned[ParamBCSRBlock] = shape
+		}
+	}
+
+	if wt, ok := f.(formats.WideTiler); ok && k >= 8 && simd.Enabled() && simd.Width() >= 8 {
+		key := cache.TuneKey{Fingerprint: fp, Device: dev, K: k, Param: ParamSpMMTile}
+		tile, ok2 := tc.Get(key)
+		if !ok2 && ctx.Err() == nil {
+			if tile = tuneSpMMTile(ctx, m, f.Name(), k, sampleRows); tile != "" {
+				tc.Put(key, tile)
+			}
+		}
+		if tile != "" {
+			wt.SetWideTiles(tile == "8")
+			tuned[ParamSpMMTile] = tile
+		}
+	}
+	return f, tuned
+}
+
+// parseBlockShape parses a "BRxBC" tune value.
+func parseBlockShape(s string) (br, bc int, err error) {
+	if _, err = fmt.Sscanf(s, "%dx%d", &br, &bc); err != nil {
+		return 0, 0, err
+	}
+	if br < 1 || bc < 1 {
+		return 0, 0, fmt.Errorf("selector: bad block shape %q", s)
+	}
+	return br, bc, nil
+}
+
+// tuneBCSRShape times each block geometry on the row-sampled sub-matrix
+// (the probe harness: warmed runs, adaptive iteration, min over rounds)
+// and returns the winner's name, or "" when no shape builds.
+func tuneBCSRShape(ctx context.Context, m *matrix.CSR, k, sampleRows int) string {
+	sub := m.RowSample(sampleRows)
+	workers := exec.MaxWorkers()
+	exec.Prestart()
+	x := matrix.RandomVector(sub.Cols*k, 9001)
+	y := make([]float64, sub.Rows*k)
+	best := math.Inf(1)
+	winner := ""
+	for _, s := range bcsrShapes {
+		if ctx.Err() != nil {
+			break
+		}
+		f, err := formats.NewBCSR(sub, s.br, s.bc)
+		if err != nil {
+			continue // fill-ratio cap refused this geometry on the sample
+		}
+		run := func() {
+			if k > 1 {
+				f.MultiplyMany(y, x, k)
+			} else {
+				f.SpMVParallel(x, y, workers)
+			}
+		}
+		run() // warm plans, scratch, pages
+		if ns := measureNs(run, defaultProbeMinTime, defaultProbeRounds); ns < best {
+			best = ns
+			winner = s.name
+		}
+	}
+	return winner
+}
+
+// tuneSpMMTile times the chosen format's fused SpMM kernel on the
+// sub-matrix with the 8-wide register tile on and off, returning "8" or
+// "4" (ties keep the wide tile: one kernel call covers two narrow ones).
+func tuneSpMMTile(ctx context.Context, m *matrix.CSR, name string, k, sampleRows int) string {
+	if ctx.Err() != nil {
+		return ""
+	}
+	b, ok := formats.Lookup(name)
+	if !ok {
+		return ""
+	}
+	sub := m.RowSample(sampleRows)
+	f, err := b.Build(sub)
+	if err != nil {
+		return ""
+	}
+	wt, ok := f.(formats.WideTiler)
+	if !ok {
+		return ""
+	}
+	exec.Prestart()
+	x := matrix.RandomVector(sub.Cols*k, 9001)
+	y := make([]float64, sub.Rows*k)
+	run := func() { f.MultiplyMany(y, x, k) }
+	wt.SetWideTiles(true)
+	run()
+	ns8 := measureNs(run, defaultProbeMinTime, defaultProbeRounds)
+	wt.SetWideTiles(false)
+	run()
+	ns4 := measureNs(run, defaultProbeMinTime, defaultProbeRounds)
+	if ns8 <= ns4 {
+		return "8"
+	}
+	return "4"
+}
+
+// vecWideRowMinFor derives the vectorized-CSR wide-path cutoff from a
+// stride sample of the matrix's row-length distribution: the
+// 8-accumulator path only pays off when rows are long enough to amortize
+// its reduction, so the cutoff follows the sampled 90th-percentile row
+// length (4x p90, clamped to [128, 512] — the upper clamp is the measured
+// x86 default, see formats.VecWideRowMin). Matrices whose long tail
+// already clears the default keep it; uniformly short-row matrices lower
+// the cutoff so their rare wide rows still take the wide path.
+func vecWideRowMinFor(m *matrix.CSR) int {
+	rows := m.Rows
+	if rows == 0 {
+		return 0
+	}
+	stride := rows/vecRowLenSamples + 1
+	lens := make([]int, 0, rows/stride+1)
+	for i := 0; i < rows; i += stride {
+		lens = append(lens, int(m.RowPtr[i+1]-m.RowPtr[i]))
+	}
+	sort.Ints(lens)
+	p90 := lens[len(lens)*9/10]
+	cut := 4 * p90
+	if cut > 512 {
+		cut = 512
+	}
+	if cut < 128 {
+		cut = 128
+	}
+	return cut
+}

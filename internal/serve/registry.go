@@ -37,6 +37,10 @@ type UploadSpec struct {
 	K int `json:"k,omitempty"`
 	// Probe lets selection micro-probe its shortlist for this matrix.
 	Probe bool `json:"probe,omitempty"`
+	// Tune lets selection autotune structural parameters (BCSR block
+	// geometry, fused SpMM tile width, Vec-CSR wide-row cutoff); winners
+	// show up in Info.Tuned and on GET /v1/info.
+	Tune bool `json:"tune,omitempty"`
 }
 
 // Hosted is one matrix the registry serves, addressed by the structural
@@ -74,6 +78,12 @@ type Info struct {
 	Updatable   bool           `json:"updatable"`
 	Created     time.Time      `json:"created"`
 	Batching    CoalescerStats `json:"batching"`
+	// Tuned reports the autotuned structural parameters of the build
+	// (e.g. "bcsr.block" -> "4x4"); empty when tuning was off or nothing
+	// applied to the chosen format.
+	Tuned map[string]string `json:"tuned,omitempty"`
+	// VecWideRowMin is the inspector-derived wide-row cutoff (0: n/a).
+	VecWideRowMin int `json:"vecWideRowMin,omitempty"`
 }
 
 // Info snapshots the hosted matrix's wire description.
@@ -93,6 +103,11 @@ func (h *Hosted) Info() Info {
 		st := h.upd.Stats()
 		info.Format = st.BaseFormat // compaction re-selects; report live
 		info.NNZ = h.upd.NNZ()
+	}
+	if a, ok := h.surface.(*formats.Auto); ok {
+		c := a.Choice()
+		info.Tuned = c.Tuned
+		info.VecWideRowMin = c.VecWideRowMin
 	}
 	return info
 }
@@ -247,7 +262,7 @@ func (r *Registry) host(ctx context.Context, spec UploadSpec, m *matrix.CSR, fp,
 		h.surface = u
 		h.chosenAt = u.Stats().BaseFormat
 	} else {
-		a, err := r.sess.AutoCtx(ctx, m, selector.AutoOptions{K: spec.K, Probe: spec.Probe})
+		a, err := r.sess.AutoCtx(ctx, m, selector.AutoOptions{K: spec.K, Probe: spec.Probe, Tune: spec.Tune})
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/session"
+	"repro/internal/simd"
 )
 
 // envelope is the uniform response shape: {"ok":true,"data":...} or
@@ -118,6 +119,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/matrices/{fp}/multiply", s.handleMultiply)
 	mux.HandleFunc("POST /v1/matrices/{fp}/cells", s.handleCells)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/info", s.handleInfo)
 	return mux
 }
 
@@ -311,6 +313,53 @@ func applyCells(h *Hosted, ops []CellOp) (int, error) {
 		applied++
 	}
 	return applied, nil
+}
+
+// MatrixTuning is one hosted matrix's autotuned parameters as reported
+// by GET /v1/info; only tuned matrices appear.
+type MatrixTuning struct {
+	Fingerprint   string            `json:"fingerprint"`
+	Format        string            `json:"format"`
+	Params        map[string]string `json:"params,omitempty"`
+	VecWideRowMin int               `json:"vecWideRowMin,omitempty"`
+}
+
+// InfoResponse is GET /v1/info: the SIMD dispatch report — which
+// instruction-set tier serves each kernel on this host and under what cap
+// — plus the autotuned structural parameters of the hosted matrices. It
+// is the record that makes the daemon's numbers attributable to the host
+// ISA.
+type InfoResponse struct {
+	Level    string            `json:"level"`    // dispatched tier (cap applied)
+	Detected string            `json:"detected"` // hardware tier, ignoring the cap
+	Width    int               `json:"width"`    // float64 lanes of the widest dispatched kernel
+	Enabled  bool              `json:"enabled"`
+	Features []string          `json:"features,omitempty"`
+	Kernels  []simd.KernelInfo `json:"kernels"`
+	Tuned    []MatrixTuning    `json:"tuned,omitempty"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	resp := InfoResponse{
+		Level:    simd.Level(),
+		Detected: simd.DetectedLevel(),
+		Width:    simd.Width(),
+		Enabled:  simd.Enabled(),
+		Features: simd.Features(),
+		Kernels:  simd.Table(),
+	}
+	for _, in := range s.reg.List() {
+		if len(in.Tuned) == 0 && in.VecWideRowMin == 0 {
+			continue
+		}
+		resp.Tuned = append(resp.Tuned, MatrixTuning{
+			Fingerprint:   in.Fingerprint,
+			Format:        in.Format,
+			Params:        in.Tuned,
+			VecWideRowMin: in.VecWideRowMin,
+		})
+	}
+	writeEnvelope(w, resp, nil)
 }
 
 // StatsResponse is GET /v1/stats: per-matrix batching plus totals.

@@ -309,3 +309,50 @@ func TestParseFP(t *testing.T) {
 		t.Fatalf("parseFP round-trip: %x %v", fp, err)
 	}
 }
+
+// TestServerInfoEndpoint checks GET /v1/info reports the dispatch table
+// and, once a tuned matrix is hosted, its autotuned parameters.
+func TestServerInfoEndpoint(t *testing.T) {
+	cfg := DefaultConfig()
+	s, base := bootServer(t, cfg)
+	defer s.Shutdown(context.Background())
+
+	status, env := call(t, "GET", base+"/v1/info", nil)
+	if status != 200 || !env.OK {
+		t.Fatalf("info: %d %+v", status, env)
+	}
+	var info InfoResponse
+	remarshal(t, env.Data, &info)
+	if info.Level == "" || info.Detected == "" || info.Width < 1 {
+		t.Fatalf("dispatch report incomplete: %+v", info)
+	}
+	if len(info.Kernels) == 0 {
+		t.Fatalf("no kernel table in %+v", info)
+	}
+	for _, k := range info.Kernels {
+		if k.Kernel == "" || k.Impl == "" {
+			t.Fatalf("blank kernel row %+v", k)
+		}
+	}
+
+	// Host a matrix large enough for the tuner and ask for tuning; its
+	// parameters must show up in the report.
+	m := matrix.Random(3000, 3000, 0.004, 7)
+	status, env = call(t, "POST", base+"/v1/matrices",
+		UploadSpec{Name: "tuned", MatrixMarket: mmBody(t, m), Tune: true})
+	if status != 201 || !env.OK {
+		t.Fatalf("upload: %d %+v", status, env)
+	}
+	_, env = call(t, "GET", base+"/v1/info", nil)
+	remarshal(t, env.Data, &info)
+	if len(info.Tuned) != 1 {
+		t.Fatalf("tuned matrices = %+v, want one entry", info.Tuned)
+	}
+	tu := info.Tuned[0]
+	if tu.Fingerprint == "" || tu.Format == "" {
+		t.Fatalf("tuning entry incomplete: %+v", tu)
+	}
+	if tu.VecWideRowMin == 0 && len(tu.Params) == 0 {
+		t.Fatalf("tuning entry carries nothing: %+v", tu)
+	}
+}

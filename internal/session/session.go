@@ -56,6 +56,7 @@ type Options struct {
 type Session struct {
 	opts    Options
 	dc      *cache.DecisionCache
+	tunes   *cache.TuneCache
 	store   *cache.Store // nil when memory-only
 	learned *selector.Learned
 
@@ -73,6 +74,7 @@ func New(o Options) (*Session, error) {
 	s := &Session{
 		opts:    o,
 		dc:      cache.NewDecisionCache(),
+		tunes:   cache.NewTuneCache(),
 		learned: selector.NewLearned(),
 	}
 	if o.CacheDir != "" {
@@ -82,6 +84,7 @@ func New(o Options) (*Session, error) {
 		}
 		s.store = st
 		s.dc.AttachStore(st)
+		s.tunes.AttachStore(st)
 		s.learned.WarmLoad(st)
 	}
 	return s, nil
@@ -114,6 +117,15 @@ func (s *Session) Cache() *cache.DecisionCache {
 		return cache.Decisions
 	}
 	return s.dc
+}
+
+// Tunes returns the session's autotune cache (the process-wide
+// cache.Tunes for the default session).
+func (s *Session) Tunes() *cache.TuneCache {
+	if s.def {
+		return cache.Tunes
+	}
+	return s.tunes
 }
 
 // Learned returns the session's experience base.
@@ -158,6 +170,7 @@ func (s *Session) autoOptions(o selector.AutoOptions) selector.AutoOptions {
 		return o
 	}
 	o.Cache = s.dc
+	o.Tunes = s.tunes
 	o.Learned = s.learned
 	if o.Shards == 0 {
 		o.Shards = s.opts.Shards
@@ -207,5 +220,6 @@ func (s *Session) Close() error {
 	st := s.store
 	s.store = nil
 	s.dc.AttachStore(nil)
+	s.tunes.AttachStore(nil)
 	return st.Close()
 }

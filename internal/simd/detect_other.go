@@ -7,3 +7,7 @@ package simd
 // ISA (e.g. NEON) means an arch-specific detect that probes the CPU and
 // installs its kernels, exactly like detect_amd64.go.
 func detect() {}
+
+// install is a no-op off amd64: there is no tier to cap, the table never
+// leaves the scalar references.
+func install(string) {}

@@ -1,0 +1,28 @@
+package simd
+
+// AVX-512F kernel entry points (kernels_avx512_amd64.s). All of them
+// trust their index arguments — see the package's index-trust contract.
+// Lane-unaligned tails are handled with opmask-predicated loads, gathers
+// and stores (no scalar remainder loop for the gather kernels).
+// Accumulation order: axpyGather, laneDot8 and the two 8-wide tiles
+// preserve the scalar order (separate VMULPD/VADDPD, independent lanes);
+// dotGather (16-partial-sum FMA) and bcsr2x2 (four blocks per iteration,
+// FMA) reassociate with the documented ULP tolerance.
+
+//go:noescape
+func dotGatherAVX512(val *float64, idx *int32, x *float64, n int) float64
+
+//go:noescape
+func axpyGatherAVX512(y, val *float64, idx *int32, x *float64, n int)
+
+//go:noescape
+func laneDot8AVX512(val *float64, idx *int32, x *float64, stride, n int) (sums [8]float64)
+
+//go:noescape
+func bcsr2x2AVX512(val *float64, blkCol *int32, x *float64, n int) (s0, s1 float64)
+
+//go:noescape
+func dotBcastTile8AVX512(val *float64, idx *int32, x *float64, stride, n, k int) (dst [8]float64)
+
+//go:noescape
+func bcsr2x2Tile8AVX512(val *float64, blkCol *int32, x *float64, n, k int) (lo, hi [8]float64)

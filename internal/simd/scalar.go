@@ -7,12 +7,15 @@ import "unsafe"
 // implementations. The pointer signatures mirror the assembly stubs so
 // one table serves both.
 var (
-	dotGather    func(val *float64, idx *int32, x *float64, n int) float64                   = dotGatherScalar
-	axpyGather   func(y, val *float64, idx *int32, x *float64, n int)                        = axpyGatherScalar
-	laneDot4     func(val *float64, idx *int32, x *float64, stride, n int) [4]float64        = laneDot4Scalar
-	bcsr2x2      func(val *float64, blkCol *int32, x *float64, n int) (s0, s1 float64)       = bcsr2x2Scalar
-	dotBcastTile func(val *float64, idx *int32, x *float64, stride, n, k int) [4]float64     = dotBcastTileScalar
-	bcsr2x2Tile  func(val *float64, blkCol *int32, x *float64, n, k int) (lo, hi [4]float64) = bcsr2x2TileScalar
+	dotGather     func(val *float64, idx *int32, x *float64, n int) float64                   = dotGatherScalar
+	axpyGather    func(y, val *float64, idx *int32, x *float64, n int)                        = axpyGatherScalar
+	laneDot4      func(val *float64, idx *int32, x *float64, stride, n int) [4]float64        = laneDot4Scalar
+	laneDot8      func(val *float64, idx *int32, x *float64, stride, n int) [8]float64        = laneDot8Scalar
+	bcsr2x2       func(val *float64, blkCol *int32, x *float64, n int) (s0, s1 float64)       = bcsr2x2Scalar
+	dotBcastTile  func(val *float64, idx *int32, x *float64, stride, n, k int) [4]float64     = dotBcastTileScalar
+	dotBcastTile8 func(val *float64, idx *int32, x *float64, stride, n, k int) [8]float64     = dotBcastTile8Scalar
+	bcsr2x2Tile   func(val *float64, blkCol *int32, x *float64, n, k int) (lo, hi [4]float64) = bcsr2x2TileScalar
+	bcsr2x2Tile8  func(val *float64, blkCol *int32, x *float64, n, k int) (lo, hi [8]float64) = bcsr2x2Tile8Scalar
 )
 
 // The scalar references reproduce the format kernels' accumulation order
@@ -60,6 +63,18 @@ func laneDot4Scalar(val *float64, idx *int32, x *float64, stride, n int) (sums [
 	return sums
 }
 
+func laneDot8Scalar(val *float64, idx *int32, x *float64, stride, n int) (sums [8]float64) {
+	v := unsafe.Slice(val, (n-1)*stride+8)
+	c := unsafe.Slice(idx, (n-1)*stride+8)
+	for j := 0; j < n; j++ {
+		at := j * stride
+		for l := 0; l < 8; l++ {
+			sums[l] += v[at+l] * *ptrAt(x, c[at+l])
+		}
+	}
+	return sums
+}
+
 func bcsr2x2Scalar(val *float64, blkCol *int32, x *float64, n int) (s0, s1 float64) {
 	v := unsafe.Slice(val, n*4)
 	bc := unsafe.Slice(blkCol, n)
@@ -97,6 +112,36 @@ func bcsr2x2TileScalar(val *float64, blkCol *int32, x *float64, n, k int) (lo, h
 		off := b * 4
 		v0, v1, v2, v3 := v[off], v[off+1], v[off+2], v[off+3]
 		for t := 0; t < 4; t++ {
+			lo[t] += v0*x0[t] + v1*x1[t]
+			hi[t] += v2*x0[t] + v3*x1[t]
+		}
+	}
+	return lo, hi
+}
+
+func dotBcastTile8Scalar(val *float64, idx *int32, x *float64, stride, n, k int) (dst [8]float64) {
+	v := unsafe.Slice(val, (n-1)*stride+1)
+	c := unsafe.Slice(idx, (n-1)*stride+1)
+	for j := 0; j < n; j++ {
+		vj := v[j*stride]
+		xb := unsafe.Slice(ptrAt(x, c[j*stride]*int32(k)), 8)
+		for t := 0; t < 8; t++ {
+			dst[t] += vj * xb[t]
+		}
+	}
+	return dst
+}
+
+func bcsr2x2Tile8Scalar(val *float64, blkCol *int32, x *float64, n, k int) (lo, hi [8]float64) {
+	v := unsafe.Slice(val, n*4)
+	bc := unsafe.Slice(blkCol, n)
+	for b := 0; b < n; b++ {
+		base := int(bc[b]) * 2 * k
+		x0 := unsafe.Slice(ptrAt(x, int32(base)), 8)
+		x1 := unsafe.Slice(ptrAt(x, int32(base+k)), 8)
+		off := b * 4
+		v0, v1, v2, v3 := v[off], v[off+1], v[off+2], v[off+3]
+		for t := 0; t < 8; t++ {
 			lo[t] += v0*x0[t] + v1*x1[t]
 			hi[t] += v2*x0[t] + v3*x1[t]
 		}

@@ -1,25 +1,37 @@
 // Package simd provides vectorized micro-kernels for the hottest SpMV
 // inner loops — the CSR row dot-product, the ELL/SELL-C-sigma slab sweeps,
-// the BCSR 2x2 tile, and the k-wide broadcast tile of the fused SpMM
+// the BCSR 2x2 tile, and the k-wide broadcast tiles of the fused SpMM
 // kernels — with runtime CPU-feature detection and per-kernel
-// function-pointer dispatch.
+// function-pointer dispatch across a ladder of tiers.
 //
-// # Dispatch
+// # Dispatch tiers
 //
 // At init the package probes the CPU (CPUID/XGETBV on amd64) and installs
 // the widest kernel implementation the hardware and OS support into a
-// function-pointer table; everything else keeps the portable scalar
-// reference path that lives in the format kernels themselves. The format
-// packages consult Enabled() once per kernel invocation and branch to
-// either the dispatched kernels here or their original scalar loops, so a
-// disabled dispatch pays zero indirection.
+// function-pointer table, per kernel: scalar < avx2 < avx512. The AVX-512
+// tier is *calibrated* rather than assumed — 512-bit execution can
+// downclock some parts, so each ZMM kernel is micro-timed against its AVX2
+// counterpart at install and only replaces it when it actually wins
+// ("win-or-stay-at-AVX2"). The format packages consult Enabled() once per
+// kernel invocation and branch to either the dispatched kernels here or
+// their original scalar loops, so a disabled dispatch pays zero
+// indirection.
 //
-// # Kill switch
+// # Caps and the kill switch
 //
-// Setting SPMV_NOSIMD=1 in the environment (or calling SetEnabled(false)
-// at runtime) routes every kernel back to the scalar reference path. The
-// scalar path is the correctness anchor: equivalence property tests in
-// internal/formats pin the dispatched kernels against it on every run.
+// SPMV_SIMD_LEVEL caps the tier: "scalar", "avx2" or "avx512". "scalar"
+// forces the portable path, "avx2" stops the ladder below ZMM, and
+// "avx512" force-installs the full AVX-512 tier without calibration (the
+// operator asked for it; benches and equivalence tests use this to pin the
+// tier under measurement). Unset or unrecognized values mean "auto":
+// widest detected, calibrated. SetLevel is the programmatic twin and is
+// how the three-way bench switches tiers mid-process; it must not race
+// in-flight multiplies (quiesce kernels first — it swaps the table).
+//
+// SPMV_NOSIMD=1 (or SetEnabled(false)) is the orthogonal kill switch: the
+// table stays installed but every caller routes back to the scalar
+// reference path, which is the correctness anchor the equivalence tests
+// pin against.
 //
 // # Accumulation-order contract
 //
@@ -28,27 +40,28 @@
 //
 //   - AxpyGather (ELL column sweep): each y[j] receives exactly one
 //     mul-then-add per slab column, in the same column order — results are
-//     bit-identical to the scalar sweep.
-//   - LaneDot4 (SELL-C-sigma slab): each lane's sum accumulates
+//     bit-identical to the scalar sweep at every tier.
+//   - LaneDot4 / LaneDot8 (SELL-C-sigma slab): each lane's sum accumulates
 //     sequentially in ascending column order (lanes are independent SIMD
 //     lanes) — bit-identical.
-//   - Bcsr2x2 / Bcsr2x2Tile: per block the scalar kernel computes
-//     s += (v0*x0 + v1*x1); the vector kernel reproduces exactly that
-//     pairing — bit-identical.
-//   - DotBcastTile (fused SpMM tile): each of the 4 vector lanes is an
-//     independent sequential sum in entry order — bit-identical.
+//   - Bcsr2x2Tile / Bcsr2x2Tile8: per block and lane the scalar kernel
+//     computes d += (v0*x0 + v1*x1); the vector kernels reproduce exactly
+//     that pairing — bit-identical.
+//   - DotBcastTile / DotBcastTile8 (fused SpMM tiles): each vector lane is
+//     an independent sequential sum in entry order — bit-identical.
 //
 // These kernels deliberately use separate multiply and add instructions
 // (no FMA contraction), because fusing the rounding step would break the
 // bit contract for a negligible win on gather-bound loops.
 //
-// The one exception is DotGather (CSR row dot-product): it carries eight
-// partial sums (two 4-lane vectors) reduced pairwise at row end, and uses
-// FMA. Relative to the strictly sequential scalar sum this reassociates
-// the addition tree and fuses rounding, so results may differ by a few
-// ULPs (the property tests document and enforce a relative tolerance).
-// This mirrors the existing Vec-CSR kernel, which already reassociates
-// with four scalar accumulators.
+// Two kernels reassociate: DotGather (CSR row dot-product) carries
+// multiple partial sums reduced pairwise at row end and uses FMA at every
+// accelerated tier (8 partials on AVX2, 16 on AVX-512); and the AVX-512
+// Bcsr2x2 processes four blocks per iteration with FMA, unlike its
+// bit-identical AVX2 counterpart. Both may differ from the sequential
+// scalar sum by a few ULPs; the property tests grant exactly these
+// kernels a relative tolerance (see KernelImpl, which lets the test
+// harness key the tolerance off the installed implementation).
 //
 // # Index trust
 //
@@ -60,6 +73,7 @@ package simd
 
 import (
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -68,29 +82,83 @@ import (
 // any value other than "" or "0".
 const EnvNoSIMD = "SPMV_NOSIMD"
 
+// EnvLevel caps the dispatch tier at process start: "scalar", "avx2" or
+// "avx512" (the generalization of SPMV_NOSIMD; unset means auto).
+const EnvLevel = "SPMV_SIMD_LEVEL"
+
 // enabled is the runtime kill switch; true only when accelerated kernels
 // are installed AND not switched off.
 var enabled atomic.Bool
 
-// hasAccel reports whether accelerated kernels were installed at init.
+// hasAccel reports whether accelerated kernels are currently installed.
 var hasAccel bool
 
-// level names the installed acceleration tier ("avx2", "scalar").
+// level names the widest installed acceleration tier ("avx512", "avx2",
+// "scalar").
 var level = "scalar"
 
-// width is the SIMD width in float64 lanes of the installed kernels
+// width is the SIMD width in float64 lanes of the widest installed tier
 // (1 when only the scalar path exists).
 var width = 1
+
+// detected names the widest tier the hardware and OS support, independent
+// of any cap ("scalar" off amd64).
+var detected = "scalar"
+
+// curCap is the cap currently applied to the table: "auto", "scalar",
+// "avx2" or "avx512" (SetLevel's restore token).
+var curCap = "auto"
 
 // features lists the detected CPU SIMD capabilities (detection result,
 // independent of what was installed or whether the switch is on).
 var features []string
 
+// Kernel indices into kernelNames / kernelImpl. The three *8 entries are
+// the wide-tier twins of the 4-lane kernels: on AVX2 they dispatch to
+// bit-identical two-halves compositions, on AVX-512 to native ZMM code.
+const (
+	kDotGather = iota
+	kAxpyGather
+	kLaneDot4
+	kLaneDot8
+	kBcsr2x2
+	kTile4
+	kTile8
+	kBcsrTile4
+	kBcsrTile8
+	nKernels
+)
+
+// kernelNames lists the dispatchable kernels in stable report order
+// (aligned with the k* indices above).
+var kernelNames = [nKernels]string{
+	"csr.dot-gather",
+	"ell.axpy-gather",
+	"sellcs.lane-dot4",
+	"sellcs.lane-dot8",
+	"bcsr.2x2",
+	"multi.bcast-tile4",
+	"multi.bcast-tile8",
+	"bcsr.2x2-tile4",
+	"bcsr.2x2-tile8",
+}
+
+// kernelImpl records which implementation each table entry points at.
+var kernelImpl = func() (ki [nKernels]string) {
+	for i := range ki {
+		ki[i] = "scalar"
+	}
+	return ki
+}()
+
 var setMu sync.Mutex
 
 func init() {
-	detect() // arch-specific: fills features, hasAccel, level, width, installs pointers
-	if hasAccel && !envDisabled() {
+	detect() // arch-specific: fills features and detected
+	cap := envCap()
+	curCap = cap
+	install(cap) // arch-specific: builds the table under the cap
+	if hasAccel && !envDisabled() && cap != "scalar" {
 		enabled.Store(true)
 	}
 }
@@ -99,6 +167,15 @@ func init() {
 func envDisabled() bool {
 	v := os.Getenv(EnvNoSIMD)
 	return v != "" && v != "0"
+}
+
+// envCap parses SPMV_SIMD_LEVEL ("auto" when unset or unrecognized).
+func envCap() string {
+	switch v := strings.ToLower(os.Getenv(EnvLevel)); v {
+	case "scalar", "avx2", "avx512":
+		return v
+	}
+	return "auto"
 }
 
 // Enabled reports whether the dispatched kernels are active. Format
@@ -117,12 +194,35 @@ func SetEnabled(on bool) bool {
 	return prev
 }
 
-// Available reports whether accelerated kernels exist for this CPU,
-// regardless of the current switch state.
+// SetLevel re-caps the dispatch tier at runtime: "scalar", "avx2",
+// "avx512" or "auto" (widest detected, calibrated — the boot default).
+// Caps above the detected capability clamp to it; "avx512" skips
+// calibration and force-installs every ZMM kernel the hardware supports.
+// It returns the previous cap token, so SetLevel(SetLevel("avx2"))
+// restores the prior table exactly. SetLevel swaps the dispatch table:
+// callers must quiesce in-flight kernels first (the bench and the
+// equivalence sweep switch tiers only between runs).
+func SetLevel(cap string) string {
+	switch cap {
+	case "auto", "scalar", "avx2", "avx512":
+	default:
+		cap = "auto"
+	}
+	setMu.Lock()
+	defer setMu.Unlock()
+	prev := curCap
+	curCap = cap
+	install(cap)
+	enabled.Store(hasAccel && cap != "scalar")
+	return prev
+}
+
+// Available reports whether accelerated kernels exist for this CPU under
+// the current cap, regardless of the kill-switch state.
 func Available() bool { return hasAccel }
 
-// Level names the active dispatch tier: the installed accelerator level
-// ("avx2") while enabled, "scalar" otherwise.
+// Level names the active dispatch tier: the widest installed accelerator
+// level ("avx512", "avx2") while enabled, "scalar" otherwise.
 func Level() string {
 	if Enabled() {
 		return level
@@ -130,14 +230,20 @@ func Level() string {
 	return "scalar"
 }
 
-// InstalledLevel names the accelerator tier installed at init, ignoring
-// the kill switch ("scalar" when none was).
+// InstalledLevel names the widest accelerator tier currently installed,
+// ignoring the kill switch ("scalar" when none is).
 func InstalledLevel() string { return level }
 
+// DetectedLevel names the widest tier the hardware and OS support,
+// independent of caps and switches. The journal host fingerprint keys off
+// this, not Level(): a capped process must still recognize journals
+// written by an uncapped one on the same machine.
+func DetectedLevel() string { return detected }
+
 // Width returns the SIMD width in float64 lanes of the active dispatch:
-// the hardware vector width while enabled, 1 otherwise. Format defaults
-// (e.g. the SELL-C-sigma chunk size) and the host device model key off
-// this.
+// the widest installed tier's vector width while enabled, 1 otherwise.
+// Format defaults (e.g. the SELL-C-sigma chunk size) and the host device
+// model key off this.
 func Width() int {
 	if Enabled() {
 		return width
@@ -161,34 +267,46 @@ type KernelInfo struct {
 	Impl   string `json:"impl"`
 }
 
-// kernelNames lists the dispatchable kernels in stable report order.
-var kernelNames = []string{
-	"csr.dot-gather",
-	"ell.axpy-gather",
-	"sellcs.lane-dot4",
-	"bcsr.2x2",
-	"multi.bcast-tile4",
-	"bcsr.2x2-tile4",
-}
-
-// Table returns the active dispatch table, one row per kernel, for CLI
-// and BENCH artifact reporting — the record that makes a measurement
-// attributable to the host ISA.
+// Table returns the active dispatch table, one row per kernel, for CLI,
+// BENCH artifact and /v1/info reporting — the record that makes a
+// measurement attributable to the host ISA. With the kill switch off
+// every entry reports "scalar" (that is what callers run).
 func Table() []KernelInfo {
-	impl := Level()
-	out := make([]KernelInfo, len(kernelNames))
+	out := make([]KernelInfo, nKernels)
+	on := Enabled()
 	for i, n := range kernelNames {
+		impl := "scalar"
+		if on {
+			impl = kernelImpl[i]
+		}
 		out[i] = KernelInfo{Kernel: n, Impl: impl}
 	}
 	return out
+}
+
+// KernelImpl reports the implementation serving the named kernel right
+// now ("scalar" when dispatch is off or the kernel is unknown). The
+// equivalence harness keys its tolerance policy off this: e.g. "bcsr.2x2"
+// is bit-identical on AVX2 but reassociates on AVX-512.
+func KernelImpl(kernel string) string {
+	if !Enabled() {
+		return "scalar"
+	}
+	for i, n := range kernelNames {
+		if n == kernel {
+			return kernelImpl[i]
+		}
+	}
+	return "scalar"
 }
 
 // --- dispatched entry points -------------------------------------------
 //
 // Each wrapper validates the degenerate cases the assembly does not
 // (empty inputs) and forwards to the installed implementation. The
-// pointers are installed once at init; SetEnabled gates callers, not the
-// table, so a mid-flight toggle never races a nil pointer.
+// pointers are installed before callers can observe Enabled()==true;
+// SetEnabled gates callers, not the table, so a mid-flight toggle never
+// races a nil pointer.
 
 // The kernels take only pointers into long-lived format storage and
 // return their accumulator tiles BY VALUE ([4]/[8]float64). That shape is
@@ -233,9 +351,23 @@ func LaneDot4(val []float64, idx []int32, x []float64, stride, n int) [4]float64
 	return laneDot4(&val[0], &idx[0], &x[0], stride, n)
 }
 
+// LaneDot8 is the 8-lane twin of LaneDot4 (l in [0, 8); val and idx must
+// hold at least (n-1)*stride+8 entries). Bit-identical to the scalar lane
+// loop at every tier: the AVX2 fallback runs two 4-lane halves.
+func LaneDot8(val []float64, idx []int32, x []float64, stride, n int) [8]float64 {
+	if n == 0 {
+		return [8]float64{}
+	}
+	_ = val[(n-1)*stride+7]
+	_ = idx[(n-1)*stride+7]
+	return laneDot8(&val[0], &idx[0], &x[0], stride, n)
+}
+
 // Bcsr2x2 accumulates one BCSR block row of interior 2x2 blocks:
 // s0 += v0*x0 + v1*x1, s1 += v2*x0 + v3*x1 per block, with x0, x1 read at
-// column blkCol[b]*2. Bit-identical to the scalar block loop.
+// column blkCol[b]*2. Bit-identical to the scalar block loop on AVX2; the
+// AVX-512 implementation processes four blocks per iteration and
+// reassociates (KernelImpl("bcsr.2x2") tells the tests which applies).
 func Bcsr2x2(val []float64, blkCol []int32, x []float64, n int) (s0, s1 float64) {
 	if n == 0 {
 		return 0, 0
@@ -258,6 +390,18 @@ func DotBcastTile(val []float64, idx []int32, x []float64, stride, n, k int) [4]
 	return dotBcastTile(&val[0], &idx[0], &x[0], stride, n, k)
 }
 
+// DotBcastTile8 is the 8-vector twin of DotBcastTile (t in [0, 8); the
+// tile must have 8 live lanes). Bit-identical to the scalar tile loop at
+// every tier.
+func DotBcastTile8(val []float64, idx []int32, x []float64, stride, n, k int) [8]float64 {
+	if n == 0 {
+		return [8]float64{}
+	}
+	_ = val[(n-1)*stride]
+	_ = idx[(n-1)*stride]
+	return dotBcastTile8(&val[0], &idx[0], &x[0], stride, n, k)
+}
+
 // Bcsr2x2Tile returns a 2-row x 4-vector BCSR SpMM tile over n interior
 // 2x2 blocks: lo is block row 0's tile, hi row 1's. x must be pre-offset
 // to the tile start. Bit-identical to the scalar tile loop.
@@ -268,4 +412,15 @@ func Bcsr2x2Tile(val []float64, blkCol []int32, x []float64, n, k int) (lo, hi [
 	_ = val[n*4-1]
 	_ = blkCol[n-1]
 	return bcsr2x2Tile(&val[0], &blkCol[0], &x[0], n, k)
+}
+
+// Bcsr2x2Tile8 is the 2-row x 8-vector twin of Bcsr2x2Tile. Bit-identical
+// to the scalar tile loop at every tier.
+func Bcsr2x2Tile8(val []float64, blkCol []int32, x []float64, n, k int) (lo, hi [8]float64) {
+	if n == 0 {
+		return [8]float64{}, [8]float64{}
+	}
+	_ = val[n*4-1]
+	_ = blkCol[n-1]
+	return bcsr2x2Tile8(&val[0], &blkCol[0], &x[0], n, k)
 }

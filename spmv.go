@@ -194,12 +194,36 @@ func MultiplyManyCtx(ctx context.Context, f Format, y, x []float64, k int) error
 func SetSIMD(on bool) bool { return simd.SetEnabled(on) }
 
 // SIMDInfo reports the active dispatch configuration: the instruction-set
-// level the kernels currently run at ("scalar", "avx2"), the vector width
-// in float64 lanes, and the CPU feature set detected at startup (which
-// may exceed the active level — detection reports what the host has,
-// dispatch uses what the kernels support).
+// level the kernels currently run at ("scalar", "avx2", "avx512"), the
+// vector width in float64 lanes, and the CPU feature set detected at
+// startup (which may exceed the active level — detection reports what
+// the host has, dispatch uses what the kernels support, and the
+// SPMV_SIMD_LEVEL environment variable or SetSIMDLevel can cap the tier
+// below the hardware's).
 func SIMDInfo() (level string, width int, features []string) {
 	return simd.Level(), simd.Width(), simd.Features()
+}
+
+// SetSIMDLevel re-caps the dispatch tier at runtime: "scalar", "avx2",
+// "avx512" or "auto" (widest detected, calibrated — the boot default,
+// also reachable via the SPMV_SIMD_LEVEL environment variable). Caps
+// above the detected capability clamp to it. Returns the previous cap
+// token, so SetSIMDLevel(SetSIMDLevel("avx2")) restores the prior
+// dispatch exactly. Quiesce in-flight kernels before switching.
+func SetSIMDLevel(cap string) string { return simd.SetLevel(cap) }
+
+// SIMDDispatch reports the per-kernel dispatch table: which
+// implementation tier ("scalar", "avx2", "avx512") serves each named
+// micro-kernel right now. The keys are the dispatch layer's kernel names
+// (e.g. "csr.dot-gather", "bcsr.2x2"); see docs/ARCHITECTURE.md, "The
+// dispatch layer".
+func SIMDDispatch() map[string]string {
+	t := simd.Table()
+	out := make(map[string]string, len(t))
+	for _, e := range t {
+		out[e.Kernel] = e.Impl
+	}
+	return out
 }
 
 // SetVecWideRowMin overrides the row-length cutoff at which the vectorized
